@@ -1,0 +1,54 @@
+"""Design-choice ablations called out in DESIGN.md.
+
+Not a paper exhibit: these benches quantify the two §3.3 implementation
+decisions (runahead cache, FP invalidation) the paper discusses textually,
+on a memory-bound sample.
+"""
+
+import dataclasses
+
+from repro.config import baseline
+from repro.sim.runner import run_workload
+from repro.trace.workloads import Workload
+
+WORKLOAD = Workload("MEM2", ("swim", "mcf"))
+FP_WORKLOAD = Workload("MIX2", ("swim", "mgrid"))
+
+
+def test_bench_runahead_cache_ablation(benchmark, bench_spec):
+    """§3.3: the runahead cache has no significant performance impact."""
+    config = baseline()
+    with_cache = dataclasses.replace(config, rat_runahead_cache=True)
+
+    def run_pair():
+        off = run_workload(WORKLOAD, "rat", config, bench_spec).throughput
+        on = run_workload(WORKLOAD, "rat", with_cache,
+                          bench_spec).throughput
+        return off, on
+
+    off, on = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    deviation = abs(on - off) / off
+    benchmark.extra_info["runahead_cache_deviation"] = round(deviation, 4)
+    # The paper found the deviation insignificant; allow a loose band.
+    assert deviation < 0.15
+    print(f"\nrunahead-cache off={off:.3f} on={on:.3f} "
+          f"deviation={deviation:.1%}")
+
+
+def test_bench_fp_invalidation_ablation(benchmark, bench_spec):
+    """§3.3: dropping FP ops at decode frees FP resources in runahead."""
+    config = baseline()
+    without = dataclasses.replace(config, rat_fp_invalidation=False)
+
+    def run_pair():
+        on = run_workload(FP_WORKLOAD, "rat", config,
+                          bench_spec).throughput
+        off = run_workload(FP_WORKLOAD, "rat", without,
+                           bench_spec).throughput
+        return on, off
+
+    on, off = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    benchmark.extra_info["fp_invalidation_gain"] = round(on / off - 1, 4)
+    # FP invalidation must never hurt, and typically helps FP workloads.
+    assert on >= off * 0.97
+    print(f"\nfp-invalidation on={on:.3f} off={off:.3f}")

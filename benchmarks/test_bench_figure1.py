@@ -1,0 +1,30 @@
+"""Figure 1: throughput & fairness of ICOUNT / STALL / FLUSH / RaT."""
+
+from repro.experiments import figure1
+
+
+def test_bench_figure1(benchmark, bench_spec, bench_workloads):
+    result = benchmark.pedantic(
+        figure1,
+        kwargs={"spec": bench_spec,
+                "workloads_per_class": bench_workloads},
+        rounds=1, iterations=1)
+    sweep = result.data["sweep"]
+
+    # Paper shape: RaT has the best MEM throughput of the static policies,
+    # and the best fairness across classes.
+    for klass in ("MEM2", "MEM4"):
+        rat = sweep.metric("rat", klass, "throughput")
+        for other in ("icount", "stall", "flush"):
+            assert rat > sweep.metric(other, klass, "throughput"), (
+                klass, other)
+    for klass in result.data["classes"]:
+        rat_fair = sweep.metric("rat", klass, "fairness")
+        for other in ("stall", "flush"):
+            assert rat_fair >= sweep.metric(other, klass, "fairness") * 0.95
+
+    benchmark.extra_info["rat_vs_flush_mem2"] = round(
+        sweep.metric("rat", "MEM2", "throughput")
+        / sweep.metric("flush", "MEM2", "throughput"), 3)
+    print()
+    print(result.render())

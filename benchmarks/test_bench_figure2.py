@@ -1,0 +1,25 @@
+"""Figure 2: throughput & fairness of ICOUNT / DCRA / Hill Climbing / RaT."""
+
+from repro.experiments import figure2
+
+
+def test_bench_figure2(benchmark, bench_spec, bench_workloads):
+    result = benchmark.pedantic(
+        figure2,
+        kwargs={"spec": bench_spec,
+                "workloads_per_class": bench_workloads},
+        rounds=1, iterations=1)
+    sweep = result.data["sweep"]
+
+    # Paper shape: RaT beats the dynamic resource controllers on MEM.
+    for klass in ("MEM2", "MEM4"):
+        rat = sweep.metric("rat", klass, "throughput")
+        for other in ("dcra", "hill"):
+            assert rat > sweep.metric(other, klass, "throughput"), (
+                klass, other)
+
+    benchmark.extra_info["rat_vs_dcra_mem2"] = round(
+        sweep.metric("rat", "MEM2", "throughput")
+        / sweep.metric("dcra", "MEM2", "throughput"), 3)
+    print()
+    print(result.render())

@@ -1,0 +1,26 @@
+"""Figure 4: sources of improvement of RaT (three ablations)."""
+
+from repro.experiments import figure4
+
+
+def test_bench_figure4(benchmark, bench_spec, bench_workloads):
+    result = benchmark.pedantic(
+        figure4,
+        kwargs={"spec": bench_spec,
+                "workloads_per_class": bench_workloads},
+        rounds=1, iterations=1)
+    per_class = result.data["per_class"]
+
+    # Paper shape: prefetching dominates the benefit on MEM workloads;
+    # the raw runahead overhead on co-runners stays small.
+    assert per_class["MEM2"].prefetching > 0.10
+    assert per_class["MEM4"].prefetching > 0.10
+    mix_overheads = [per_class[k].overhead for k in ("MIX2", "MIX4")
+                     if k in per_class]
+    for overhead in mix_overheads:
+        assert overhead < 0.60  # co-runners are not crippled
+
+    benchmark.extra_info["mem2_prefetching_pct"] = round(
+        per_class["MEM2"].prefetching * 100, 1)
+    print()
+    print(result.render())

@@ -1,0 +1,23 @@
+"""Figure 5: register occupancy, normal vs runahead mode."""
+
+from repro.experiments import figure5
+
+
+def test_bench_figure5(benchmark, bench_spec, bench_workloads):
+    result = benchmark.pedantic(
+        figure5,
+        kwargs={"spec": bench_spec,
+                "workloads_per_class": bench_workloads},
+        rounds=1, iterations=1)
+    usage = result.data["usage"]
+
+    # Paper shape: threads hold fewer registers in runahead mode.
+    for klass in ("MEM2", "MEM4"):
+        normal, runahead = usage[klass]
+        assert runahead < normal, klass
+
+    normal, runahead = usage["MEM2"]
+    benchmark.extra_info["mem2_ra_over_normal"] = round(
+        runahead / normal, 3)
+    print()
+    print(result.render())

@@ -1,0 +1,32 @@
+"""Figure 6: throughput vs register-file size, FLUSH vs RaT.
+
+The heaviest sweep of the harness (2 policies x 5 sizes x classes), so it
+samples 2 workloads per class regardless of ``REPRO_BENCH_WORKLOADS``.
+"""
+
+from repro.experiments import figure6
+
+
+def test_bench_figure6(benchmark, bench_spec, bench_workloads):
+    per_class = min(2, bench_workloads) if bench_workloads else 2
+    result = benchmark.pedantic(
+        figure6,
+        kwargs={"spec": bench_spec, "workloads_per_class": per_class},
+        rounds=1, iterations=1)
+    series = result.data["series"]
+
+    # Paper shape, on the memory-bound classes:
+    # (1) RaT with a small register file still beats FLUSH with 320.
+    # (2) RaT degrades less, relatively, as the file shrinks.
+    for klass in ("MEM2", "MEM4"):
+        rat = series[(klass, "rat")]
+        flush = series[(klass, "flush")]
+        assert rat[1] > flush[-1], klass        # RaT@128 >= FLUSH@320
+        rat_loss = 1.0 - rat[0] / rat[-1]
+        flush_loss = 1.0 - flush[0] / flush[-1]
+        assert rat_loss <= flush_loss + 0.05, klass
+
+    benchmark.extra_info["mem2_rat_128_vs_flush_320"] = round(
+        series[("MEM2", "rat")][1] / series[("MEM2", "flush")][-1], 3)
+    print()
+    print(result.render())

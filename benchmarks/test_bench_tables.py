@@ -1,0 +1,31 @@
+"""Benchmarks regenerating Table 1 and Table 2."""
+
+from repro.experiments import table1, table2
+
+
+def test_bench_table1(benchmark):
+    """Table 1: render the baseline machine configuration."""
+    result = benchmark.pedantic(table1, rounds=1, iterations=1)
+    text = result.render()
+    assert "512 shared entries" in text
+    print()
+    print(text)
+
+
+def test_bench_table2(benchmark, bench_spec):
+    """Table 2: all 54 workloads + measured L2-MPKI classification.
+
+    Asserts the paper's premise: measured L2 miss rates separate the MEM
+    group from the ILP group.
+    """
+    result = benchmark.pedantic(
+        table2, kwargs={"spec": bench_spec}, rounds=1, iterations=1)
+    mpki = result.data["mpki"]
+    from repro.trace.profiles import ilp_benchmarks, mem_benchmarks
+    worst_ilp = max(mpki[name] for name in ilp_benchmarks())
+    best_mem = min(mpki[name] for name in mem_benchmarks())
+    benchmark.extra_info["worst_ilp_mpki"] = round(worst_ilp, 2)
+    benchmark.extra_info["best_mem_mpki"] = round(best_mem, 2)
+    assert best_mem > worst_ilp
+    print()
+    print(result.render())

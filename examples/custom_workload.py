@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Define a custom benchmark profile and study it under runahead.
+
+Shows the extensibility path a downstream user takes: describe a program
+statistically (instruction mix, working set, access patterns), generate a
+trace, and measure how much runahead helps as the program shifts from
+pointer-chasing (serial misses) to streaming (parallel misses).
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro import SMTConfig, SMTProcessor
+from repro.experiments.report import ascii_table
+from repro.trace.generator import TraceGenerator
+from repro.trace.profiles import BenchmarkProfile
+
+MB = 1024 * 1024
+TRACE_LEN = 3000
+
+
+def make_profile(name: str, stream: float, chase: float) -> BenchmarkProfile:
+    """A memory-bound profile whose MLP character is parameterized."""
+    return BenchmarkProfile(
+        name=name,
+        is_fp=False,
+        is_mem=True,
+        load_fraction=0.28,
+        store_fraction=0.08,
+        branch_fraction=0.12,
+        dep_distance=4.0,
+        working_set_bytes=16 * MB,
+        stream_weight=stream,
+        random_weight=max(0.0, 1.0 - stream - chase),
+        chase_weight=chase,
+        stride_bytes=8,
+        num_streams=4,
+        chase_chains=2,
+        hot_fraction=0.02,
+        hot_prob=0.6,
+        code_blocks=200,
+    )
+
+
+def main() -> None:
+    rows = []
+    for label, stream, chase in (("chaser", 0.05, 0.85),
+                                 ("balanced", 0.45, 0.35),
+                                 ("streamer", 0.90, 0.00)):
+        profile = make_profile(f"custom-{label}", stream, chase)
+        trace = TraceGenerator(profile, TRACE_LEN, seed=7).generate()
+        ipcs = {}
+        for policy in ("icount", "rat"):
+            cpu = SMTProcessor(SMTConfig(policy=policy).validate(), [trace])
+            ipcs[policy] = cpu.run().ipcs[0]
+        gain = ipcs["rat"] / ipcs["icount"] - 1.0
+        rows.append([label, ipcs["icount"], ipcs["rat"],
+                     f"{gain:+.0%}"])
+
+    print(ascii_table(("Program", "ICOUNT IPC", "RaT IPC", "RaT gain"),
+                      rows,
+                      title="Runahead benefit vs memory-level parallelism"))
+    print("\nStreaming misses are independent, so runahead prefetches them "
+          "in bulk;\npointer chasing serializes address generation and "
+          "leaves runahead little\nto do — the core trade-off behind the "
+          "paper's per-benchmark results.")
+
+
+if __name__ == "__main__":
+    main()

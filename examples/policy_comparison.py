@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Compare all fetch/resource policies on one workload of each class.
+
+Reproduces, at a glance, the shape of the paper's Figures 1 and 2: the
+long-latency-load handlers (STALL/FLUSH), the dynamic resource controllers
+(DCRA/hill climbing), the related-work MLP-aware policy, and Runahead
+Threads, all against the ICOUNT baseline.
+
+Run:  python examples/policy_comparison.py [--trace-len N]
+"""
+
+import argparse
+
+from repro import SMTConfig, SMTProcessor, generate_trace
+from repro.experiments.report import ascii_table
+from repro.trace.workloads import get_workloads
+
+POLICIES = ("icount", "stall", "flush", "dcra", "hill", "mlp", "rat")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace-len", type=int, default=3000)
+    args = parser.parse_args()
+
+    rows = []
+    for klass in ("ILP2", "MIX2", "MEM2"):
+        workload = get_workloads(klass)[1]
+        traces = [generate_trace(name, args.trace_len)
+                  for name in workload.benchmarks]
+        row = [f"{klass}: {workload.name}"]
+        for policy in POLICIES:
+            cpu = SMTProcessor(SMTConfig(policy=policy).validate(), traces)
+            row.append(cpu.run().throughput)
+        rows.append(row)
+
+    print(ascii_table(("Workload",) + POLICIES, rows,
+                      title="Throughput (IPC) by policy"))
+    print("\nExpected shape: all policies tie on ILP2; RaT leads MEM2 by "
+          "exploiting\nmemory-level parallelism instead of stalling or "
+          "flushing the blocked thread.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate a 2-thread SMT workload under Runahead Threads.
+
+Builds the paper's Table 1 machine, generates synthetic traces for a
+memory-bound benchmark (swim) and a pointer-chaser (mcf), and compares the
+baseline ICOUNT fetch policy against Runahead Threads.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SMTConfig, SMTProcessor, generate_trace
+
+TRACE_LEN = 3000
+
+
+def run(policy: str):
+    traces = [generate_trace("swim", TRACE_LEN),
+              generate_trace("mcf", TRACE_LEN)]
+    cpu = SMTProcessor(SMTConfig(policy=policy).validate(), traces)
+    result = cpu.run()
+    return cpu, result
+
+
+def main() -> None:
+    print("Machine: the paper's Table 1 baseline "
+          "(8-wide SMT, 512-entry shared ROB, 400-cycle memory)\n")
+    for policy in ("icount", "rat"):
+        cpu, result = run(policy)
+        episodes = sum(stats.runahead_episodes
+                       for stats in result.thread_stats)
+        print(f"policy={policy:<6} throughput={result.throughput:.3f} IPC")
+        for name, ipc in zip(result.benchmarks, result.ipcs):
+            print(f"    {name:<6} IPC={ipc:.3f}")
+        print(f"    cycles={result.cycles}  runahead episodes={episodes}  "
+              f"executed={result.total_executed} "
+              f"(committed {result.total_committed})")
+        prefetches = sum(s.prefetches for s in cpu.pipeline.mem.stats)
+        useful = sum(s.useful_prefetches for s in cpu.pipeline.mem.stats)
+        print(f"    prefetches issued={prefetches} "
+              f"(later hit by demand accesses: {useful})\n")
+    print("Runahead Threads turn swim's memory stalls into prefetching "
+          "speculation;\nits IPC rises while mcf (pure pointer chasing) "
+          "is largely unchanged —\nexactly the paper's §5.1 behaviour.")
+
+
+if __name__ == "__main__":
+    main()

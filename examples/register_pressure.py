@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Register-file sensitivity: the paper's §6.2 case study.
+
+Sweeps the physical register file from 96 to 320 entries for FLUSH and
+RaT on a memory-bound pair, showing that runahead execution keeps
+registers allocated for short periods: RaT barely degrades while FLUSH
+loses much of its throughput, and RaT with a small file beats FLUSH with
+the full 320 registers (paper Figure 6).
+
+Run:  python examples/register_pressure.py
+"""
+
+from repro import SMTConfig, SMTProcessor, generate_trace
+from repro.experiments.report import ascii_table
+
+SIZES = (96, 128, 192, 256, 320)
+BENCHES = ("swim", "mcf")
+TRACE_LEN = 3000
+
+
+def throughput(policy: str, regs: int) -> float:
+    traces = [generate_trace(name, TRACE_LEN) for name in BENCHES]
+    config = SMTConfig(policy=policy, int_regs=regs,
+                       fp_regs=regs).validate()
+    return SMTProcessor(config, traces).run().throughput
+
+
+def main() -> None:
+    rows = []
+    for policy in ("flush", "rat"):
+        rows.append([policy] + [throughput(policy, regs)
+                                for regs in SIZES])
+    print(ascii_table(("Policy",) + tuple(map(str, SIZES)), rows,
+                      title=f"Throughput vs register file size "
+                            f"({','.join(BENCHES)})"))
+    flush_320 = rows[0][-1]
+    rat_128 = rows[1][2]
+    print(f"\nRaT with 128 registers ({rat_128:.3f} IPC) vs FLUSH with "
+          f"320 ({flush_320:.3f} IPC): "
+          f"{'RaT wins' if rat_128 > flush_320 else 'FLUSH wins'} — "
+          "the paper's 60% register-file reduction result.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Offline environments without the ``wheel`` package cannot build PEP 660
+editable wheels; this shim lets ``pip install -e . --no-build-isolation``
+fall back to the classic ``setup.py develop`` path.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,6 @@
+"""Branch prediction substrate (Table 1 specifies a perceptron predictor)."""
+
+from .perceptron import PerceptronPredictor
+from .btb import BranchTargetBuffer
+
+__all__ = ["PerceptronPredictor", "BranchTargetBuffer"]

@@ -1,0 +1,84 @@
+"""Perceptron branch predictor (Jiménez & Lin, HPCA 2001), as in Table 1.
+
+Each predictor entry is a weight vector; the prediction is the sign of the
+bias weight plus the dot product of the weights with the thread's global
+history (encoded ±1).  Training bumps weights toward the outcome whenever
+the prediction was wrong or under-confident (|output| <= θ), with the
+standard threshold θ = ⌊1.93·h + 14⌋.
+
+Trace-driven simplifications (documented in DESIGN.md §5): the global
+history is updated with the *actual* outcome at prediction time (so history
+never needs repair on a squash), and training is applied immediately.  Both
+are standard practice in trace simulators and slightly flatter — equally —
+every policy under test.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+
+class PerceptronPredictor:
+    """Shared perceptron table with per-thread global histories."""
+
+    def __init__(self, entries: int, history_bits: int,
+                 num_threads: int) -> None:
+        if entries < 1 or history_bits < 1 or num_threads < 1:
+            raise ValueError("entries, history_bits, num_threads must be >= 1")
+        self.entries = entries
+        self.history_bits = history_bits
+        self.theta = int(1.93 * history_bits + 14)
+        self._weight_clip = self.theta + 1
+        # weights[i, 0] is the bias; [i, 1:] pair with history bits.
+        self._weights = np.zeros((entries, history_bits + 1), dtype=np.int32)
+        self._histories: List[np.ndarray] = [
+            np.ones(history_bits, dtype=np.int32) * -1
+            for _ in range(num_threads)
+        ]
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) % self.entries
+
+    def predict(self, thread_id: int, pc: int, taken: bool) -> bool:
+        """Predict the branch at ``pc`` and train on the actual outcome.
+
+        Returns True if the prediction matched ``taken``.
+        """
+        index = self._index(pc)
+        weights = self._weights[index]
+        history = self._histories[thread_id]
+        output = int(weights[0]) + int(np.dot(weights[1:], history))
+        predicted_taken = output >= 0
+        correct = predicted_taken == taken
+        self.predictions += 1
+        if not correct:
+            self.mispredictions += 1
+
+        if not correct or abs(output) <= self.theta:
+            step = 1 if taken else -1
+            weights[0] = self._clip(int(weights[0]) + step)
+            updated = weights[1:] + step * history
+            np.clip(updated, -self._weight_clip, self._weight_clip,
+                    out=weights[1:])
+
+        # Shift the actual outcome into this thread's global history.
+        history[:-1] = history[1:]
+        history[-1] = 1 if taken else -1
+        return correct
+
+    def _clip(self, value: int) -> int:
+        return max(-self._weight_clip, min(self._weight_clip, value))
+
+    @property
+    def accuracy(self) -> float:
+        if self.predictions == 0:
+            return 1.0
+        return 1.0 - self.mispredictions / self.predictions
+
+    def reset_history(self, thread_id: int) -> None:
+        """Clear one thread's global history (context switch)."""
+        self._histories[thread_id][:] = -1

@@ -1,0 +1,78 @@
+"""Command-line interface: regenerate any table or figure.
+
+Examples::
+
+    python -m repro table1
+    python -m repro figure1 --workloads-per-class 3 --trace-len 2000
+    python -m repro all
+    repro-smt figure6 --classes MEM2 MEM4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .config import baseline
+from .experiments import EXHIBITS
+from .sim.runner import RunSpec, default_spec
+from .trace.workloads import WORKLOAD_CLASSES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-smt",
+        description="Reproduce 'Runahead Threads to Improve SMT "
+                    "Performance' (HPCA 2008): regenerate its tables "
+                    "and figures on the bundled simulator.")
+    parser.add_argument("exhibit",
+                        choices=sorted(EXHIBITS) + ["all"],
+                        help="which exhibit to regenerate")
+    parser.add_argument("--trace-len", type=int, default=None,
+                        help="instructions per thread trace "
+                             "(default: RunSpec default)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="trace generation seed")
+    parser.add_argument("--workloads-per-class", type=int, default=None,
+                        help="cap workloads per class for a quick look "
+                             "(default: full Table 2)")
+    parser.add_argument("--classes", nargs="+", default=None,
+                        choices=list(WORKLOAD_CLASSES),
+                        help="restrict to specific workload classes")
+    return parser
+
+
+def make_spec(args: argparse.Namespace) -> RunSpec:
+    spec = default_spec()
+    overrides = {}
+    if args.trace_len is not None:
+        overrides["trace_len"] = args.trace_len
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if overrides:
+        import dataclasses
+        spec = dataclasses.replace(spec, **overrides)
+    return spec
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    spec = make_spec(args)
+    config = baseline()
+    names = sorted(EXHIBITS) if args.exhibit == "all" else [args.exhibit]
+    for name in names:
+        driver = EXHIBITS[name]
+        started = time.time()
+        result = driver(config=config, spec=spec,
+                        classes=args.classes,
+                        workloads_per_class=args.workloads_per_class)
+        print(result.render())
+        print(f"[{name} regenerated in {time.time() - started:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""The SMT processor core.
+
+Implements the paper's simulated machine (Table 1): an 8-wide, 10-stage SMT
+pipeline with full dynamic resource sharing — shared reorder buffer, shared
+physical register files with true renaming, shared issue queues and
+functional units — plus the Runahead Threads mechanism of §3.
+"""
+
+from .dyninst import DynInst, InstState
+from .regfile import PhysRegFile
+from .rename import RenameState
+from .rob import SharedROB
+from .issue_queue import IssueQueue
+from .fu import FUPool
+from .thread import ThreadContext, ThreadMode
+from .processor import SMTProcessor, SimResult
+from .stats import ThreadStats, GlobalStats
+
+__all__ = [
+    "DynInst", "InstState", "PhysRegFile", "RenameState", "SharedROB",
+    "IssueQueue", "FUPool", "ThreadContext", "ThreadMode",
+    "SMTProcessor", "SimResult", "ThreadStats", "GlobalStats",
+]

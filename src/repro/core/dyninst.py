@@ -1,0 +1,100 @@
+"""Dynamic (in-flight) instruction state.
+
+A :class:`DynInst` is created at fetch from one trace row and carries all
+per-instance pipeline state: renamed operands, readiness, validity (the INV
+bit of runahead execution), and lifecycle bookkeeping.  These objects are
+the hot allocation of the simulator, hence ``__slots__`` and plain
+attributes throughout.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..isa import (
+    FP_OPS,
+    LOAD_OPS,
+    MEMORY_OPS,
+    NO_REG,
+    OpClass,
+    STORE_OPS,
+)
+
+
+class InstState(enum.IntEnum):
+    """Lifecycle of a dynamic instruction."""
+
+    FETCHED = 0      # waiting in the per-thread fetch queue
+    DISPATCHED = 1   # renamed, in ROB; waiting for operands in an IQ
+    READY = 2        # all operands available; eligible for issue
+    ISSUED = 3       # executing on a functional unit / memory access
+    COMPLETED = 4    # result produced (possibly invalid)
+    RETIRED = 5      # committed (normal) or pseudo-retired (runahead)
+    SQUASHED = 6     # cancelled by misprediction, flush, or runahead exit
+
+
+class DynInst:
+    """One in-flight instruction instance."""
+
+    __slots__ = (
+        "tid", "seq", "gseq", "trace_index", "pass_no",
+        "op", "pc", "addr",
+        "dest_arch", "src1_arch", "src2_arch",
+        "pdest", "psrc1", "psrc2", "old_pdest",
+        "state", "invalid", "runahead",
+        "pending_srcs", "in_iq", "counted", "l2_counted",
+        "src_inv_mask",
+        "complete_cycle", "l2_miss", "mispredicted", "taken",
+        "is_load", "is_store", "is_mem", "is_branch", "is_fp",
+    )
+
+    def __init__(self, tid: int, seq: int, trace_index: int, pass_no: int,
+                 op: int, pc: int, addr: int, dest_arch: int,
+                 src1_arch: int, src2_arch: int, taken: bool) -> None:
+        self.tid = tid
+        self.seq = seq
+        self.gseq = 0  # global fetch order, assigned by the pipeline
+        self.trace_index = trace_index
+        self.pass_no = pass_no
+        self.op = op
+        self.pc = pc
+        self.addr = addr
+        self.dest_arch = dest_arch
+        self.src1_arch = src1_arch
+        self.src2_arch = src2_arch
+        self.taken = taken
+
+        self.pdest = NO_REG
+        self.psrc1 = NO_REG
+        self.psrc2 = NO_REG
+        self.old_pdest = NO_REG
+
+        self.state = InstState.FETCHED
+        self.invalid = False        # runahead INV bit of the *result*
+        self.runahead = False       # fetched while its thread ran ahead
+        self.pending_srcs = 0
+        self.in_iq = False
+        self.counted = False        # contributes to ICOUNT
+        self.l2_counted = False     # contributes to pending_l2_misses
+        self.src_inv_mask = 0       # bit0/bit1: src1/src2 known-INV at dispatch
+        self.complete_cycle = -1
+        self.l2_miss = False        # detected long-latency (L2) miss
+        self.mispredicted = False
+
+        opc = OpClass(op)
+        self.is_load = opc in LOAD_OPS
+        self.is_store = opc in STORE_OPS
+        self.is_mem = opc in MEMORY_OPS
+        self.is_branch = opc is OpClass.BRANCH
+        self.is_fp = opc in FP_OPS
+
+    @property
+    def active(self) -> bool:
+        """Still owns pipeline resources (not retired or squashed)."""
+        return self.state < InstState.RETIRED
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<DynInst t{self.tid} #{self.seq} {OpClass(self.op).name} "
+                f"idx={self.trace_index} {InstState(self.state).name}"
+                f"{' INV' if self.invalid else ''}"
+                f"{' RA' if self.runahead else ''}>")

@@ -1,0 +1,100 @@
+"""Issue queues with event-driven wakeup.
+
+Each of the three queues (INT/FP/LS, Table 1) holds dispatched instructions
+until their operands are ready.  Wakeup is event-driven: instructions with
+outstanding sources register as waiters on the producing physical register,
+and completion moves them to the queue's ready list — so per-cycle cost
+scales with completions, not queue size.
+
+Occupancy accounting is explicit (``size``): an instruction occupies its
+queue entry from dispatch until it issues, folds, or is squashed, and the
+counter is the resource the dispatch stage and the DCRA/hill-climbing
+policies arbitrate over.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import SimulationError
+from .dyninst import DynInst, InstState
+
+
+class IssueQueue:
+    """One issue queue: bounded occupancy plus a ready list."""
+
+    __slots__ = ("name", "capacity", "size", "_ready", "per_thread")
+
+    def __init__(self, name: str, capacity: int, num_threads: int) -> None:
+        if capacity < 1:
+            raise ValueError("issue queue capacity must be >= 1")
+        self.name = name
+        self.capacity = capacity
+        self.size = 0
+        self._ready: List[DynInst] = []
+        self.per_thread = [0] * num_threads
+
+    @property
+    def free_entries(self) -> int:
+        return self.capacity - self.size
+
+    def is_full(self) -> bool:
+        return self.size >= self.capacity
+
+    def insert(self, inst: DynInst) -> None:
+        """Account a dispatched instruction's queue entry."""
+        if self.is_full():
+            raise SimulationError(f"{self.name} issue queue overflow")
+        self.size += 1
+        self.per_thread[inst.tid] += 1
+        inst.in_iq = True
+
+    def remove(self, inst: DynInst) -> None:
+        """Release an entry (issue, fold, or squash)."""
+        if not inst.in_iq:
+            return
+        inst.in_iq = False
+        self.size -= 1
+        self.per_thread[inst.tid] -= 1
+        if self.size < 0:
+            raise SimulationError(f"{self.name} issue queue underflow")
+
+    def mark_ready(self, inst: DynInst) -> None:
+        """All operands available: eligible for selection."""
+        self._ready.append(inst)
+
+    def take_ready(self, limit: int) -> List[DynInst]:
+        """Select up to ``limit`` ready instructions, oldest first.
+
+        Squashed and folded entries are purged in passing.  Instructions
+        not selected this cycle stay in the ready list.
+        """
+        if not self._ready:
+            return []
+        live = [inst for inst in self._ready
+                if inst.state == InstState.READY]
+        if len(live) != len(self._ready):
+            self._ready = live
+        if not live:
+            return []
+        if len(live) > limit:
+            live.sort(key=_inst_age)
+            selected = live[:limit]
+            self._ready = live[limit:]
+        else:
+            selected = live
+            self._ready = []
+        return selected
+
+    def requeue(self, inst: DynInst) -> None:
+        """Put an instruction back (e.g. memory access rejected by MSHRs)."""
+        self._ready.append(inst)
+
+    def ready_count(self) -> int:
+        return sum(1 for inst in self._ready
+                   if inst.state == InstState.READY)
+
+
+def _inst_age(inst: DynInst) -> int:
+    # Global fetch order approximates true age across threads.
+    return inst.gseq

@@ -1,0 +1,756 @@
+"""The SMT pipeline: fetch, dispatch, issue, complete, commit.
+
+One :class:`SMTPipeline` simulates the whole machine cycle by cycle.  The
+stage order inside :meth:`step` is back-to-front (completions and commit
+before issue, issue before dispatch, dispatch before fetch) so every stage
+observes the previous cycle's downstream state, as a real pipeline would.
+
+Wakeup is event-driven (see :mod:`repro.core.issue_queue`), and memory and
+execution latencies are carried by a cycle-indexed event table rather than
+per-cycle scans, which keeps the Python model fast enough for full Table 2
+sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..branch import BranchTargetBuffer, PerceptronPredictor
+from ..config import SMTConfig
+from ..errors import DeadlockError, SimulationError
+from ..isa import (
+    FP_OPS,
+    FUKind,
+    IssueQueueKind,
+    NO_REG,
+    OP_LATENCY,
+    OP_QUEUE,
+    OpClass,
+    RegClass,
+    reg_class,
+)
+from ..mem import MemoryHierarchy
+from ..trace.trace import Trace
+from .dyninst import DynInst, InstState
+from .fu import FUPool
+from .issue_queue import IssueQueue
+from .regfile import PhysRegFile
+from .rename import RenameState
+from .rob import SharedROB
+from .runahead import RunaheadController
+from .stats import GlobalStats
+from .thread import ThreadContext, ThreadMode
+
+#: Event kinds in the cycle-indexed event table.
+_EV_COMPLETE = 0
+_EV_L2_DETECT = 1
+
+#: Cycles without a single commit before the deadlock guard trips.
+_DEADLOCK_WINDOW = 100_000
+
+
+class SMTPipeline:
+    """Cycle-level model of the Table 1 SMT processor."""
+
+    def __init__(self, config: SMTConfig, traces: List[Trace],
+                 policy) -> None:
+        config.validate()
+        if not traces:
+            raise SimulationError("at least one thread trace is required")
+        if len(traces) > config.max_threads():
+            raise SimulationError(
+                f"{len(traces)} threads need "
+                f"{len(traces) * 32} architectural registers per file; "
+                f"config provides {config.int_regs}/{config.fp_regs}")
+        self.config = config
+        self.num_threads = len(traces)
+        self.cycle = 0
+        self.gstats = GlobalStats()
+
+        self.int_file = PhysRegFile("int", config.int_regs)
+        self.fp_file = PhysRegFile("fp", config.fp_regs)
+        self.rob = SharedROB(config.rob_size, self.num_threads)
+        self.queues = (
+            IssueQueue("int", config.int_iq_size, self.num_threads),
+            IssueQueue("fp", config.fp_iq_size, self.num_threads),
+            IssueQueue("ls", config.ls_iq_size, self.num_threads),
+        )
+        self.fus = FUPool(config.int_units, config.fp_units,
+                          config.ldst_units)
+        self.mem = MemoryHierarchy(config, self.num_threads)
+        self.predictor = PerceptronPredictor(
+            config.predictor_entries, config.predictor_history,
+            self.num_threads)
+        self.btb = BranchTargetBuffer(config.btb_entries)
+
+        self.threads: List[ThreadContext] = []
+        cacheable_limit = int(0.75 * config.l2.size_bytes)
+        for tid, trace in enumerate(traces):
+            rename = RenameState(tid, self.int_file, self.fp_file)
+            shift = trace.data_region_bytes > cacheable_limit
+            self.threads.append(ThreadContext(tid, trace, rename,
+                                              pass_shift=shift))
+            # Architectural state occupies registers from cycle 0.
+            self.threads[tid].regs_held = [32, 32]
+
+        self.runahead = RunaheadController(self)
+        self.policy = policy
+        policy.attach(self)
+
+        self._events: Dict[int, List[Tuple[int, DynInst]]] = {}
+        self._gseq = 0
+        self._last_commit_cycle = 0
+        self._fold_worklist: List[DynInst] = []
+
+    # ------------------------------------------------------------------ cycle
+
+    def step(self) -> None:
+        """Advance the machine by one cycle."""
+        now = self.cycle
+        self.fus.new_cycle()
+        self._process_events(now)
+        self.policy.on_cycle(now)
+        self._commit_stage(now)
+        self._issue_stage(now)
+        self._dispatch_stage(now)
+        self._fetch_stage(now)
+        self._sample_stats()
+        self.cycle = now + 1
+        if now - self._last_commit_cycle > _DEADLOCK_WINDOW:
+            raise DeadlockError(now, "no instruction committed recently")
+
+    # --------------------------------------------------------------- events
+
+    def schedule(self, cycle: int, kind: int, inst: DynInst) -> None:
+        bucket = self._events.get(cycle)
+        if bucket is None:
+            self._events[cycle] = [(kind, inst)]
+        else:
+            bucket.append((kind, inst))
+
+    def _process_events(self, now: int) -> None:
+        bucket = self._events.pop(now, None)
+        if not bucket:
+            return
+        for kind, inst in bucket:
+            state = inst.state
+            if state == InstState.SQUASHED or state == InstState.RETIRED:
+                continue
+            if kind == _EV_COMPLETE:
+                if state == InstState.ISSUED:
+                    self._complete(inst, now)
+            elif kind == _EV_L2_DETECT:
+                if state < InstState.RETIRED:
+                    self._on_l2_detected(inst, now)
+        self._drain_folds(now)
+
+    def _complete(self, inst: DynInst, now: int) -> None:
+        inst.state = InstState.COMPLETED
+        thread = self.threads[inst.tid]
+        if inst.l2_counted:
+            inst.l2_counted = False
+            thread.pending_l2_misses -= 1
+        if inst.pdest != NO_REG:
+            file = self.int_file if reg_class(inst.dest_arch) == RegClass.INT \
+                else self.fp_file
+            woken = file.set_ready(inst.pdest, now, invalid=inst.invalid)
+            for waiter in woken:
+                self._src_ready(waiter, now, inst.pdest, inst.invalid)
+            if inst.invalid and self.threads[inst.tid].in_runahead:
+                self._recycle_runahead_dest(self.threads[inst.tid], inst)
+        if inst.is_branch and not inst.invalid and inst.mispredicted:
+            self._resolve_misprediction(inst, now)
+
+    def _on_l2_detected(self, inst: DynInst, now: int) -> None:
+        """A demand load has been discovered to miss in the L2 cache."""
+        inst.l2_miss = True
+        inst.l2_counted = True
+        thread = self.threads[inst.tid]
+        thread.pending_l2_misses += 1
+        self.policy.on_l2_miss_detected(thread, inst, now)
+
+    # --------------------------------------------------------------- wakeup / fold
+
+    def _src_ready(self, inst: DynInst, now: int, preg: int,
+                   invalid: bool) -> None:
+        if inst.state != InstState.DISPATCHED:
+            return
+        if invalid:
+            # Record validity *now*: the producing register may be
+            # recycled (runahead frees INV registers at pseudo-retire)
+            # before this instruction's other operands arrive.
+            if inst.psrc1 == preg:
+                inst.src_inv_mask |= 1
+            if inst.psrc2 == preg:
+                inst.src_inv_mask |= 2
+        inst.pending_srcs -= 1
+        if inst.pending_srcs > 0:
+            return
+        if self._operands_invalid(inst):
+            self._fold_worklist.append(inst)
+        else:
+            inst.state = InstState.READY
+            self.queues[OP_QUEUE[OpClass(inst.op)]].mark_ready(inst)
+
+    def _operands_invalid(self, inst: DynInst) -> bool:
+        """Fold test: does any operand needed for execution carry INV?
+
+        Validity was latched into ``src_inv_mask`` when each operand became
+        known (dispatch for already-ready sources, wakeup for the rest).
+        Stores fold only on an invalid *address* (src1); invalid store data
+        merely marks the forwarded value invalid (§3.3, runahead cache
+        discussion).
+        """
+        mask = inst.src_inv_mask
+        if inst.is_store:
+            return bool(mask & 1)
+        return mask != 0
+
+    def _fold(self, inst: DynInst, now: int) -> None:
+        """Squash-free cancellation: complete instantly with an INV result."""
+        inst.invalid = True
+        inst.state = InstState.COMPLETED
+        inst.complete_cycle = now
+        if inst.in_iq:
+            self.queues[OP_QUEUE[OpClass(inst.op)]].remove(inst)
+        self._uncount(inst)
+        thread = self.threads[inst.tid]
+        # Folded instructions never execute (paper §3.1), so they are kept
+        # out of the executed-instruction energy proxy.
+        thread.stats.folded += 1
+        if inst.pdest != NO_REG:
+            file = self.int_file if reg_class(inst.dest_arch) == RegClass.INT \
+                else self.fp_file
+            woken = file.set_ready(inst.pdest, now, invalid=True)
+            for waiter in woken:
+                self._src_ready(waiter, now, inst.pdest, True)
+            if thread.in_runahead:
+                self._recycle_runahead_dest(thread, inst)
+
+    def _drain_folds(self, now: int) -> None:
+        while self._fold_worklist:
+            inst = self._fold_worklist.pop()
+            if inst.state == InstState.DISPATCHED:
+                self._fold(inst, now)
+
+    def _uncount(self, inst: DynInst) -> None:
+        if inst.counted:
+            inst.counted = False
+            self.threads[inst.tid].icount -= 1
+
+    # --------------------------------------------------------------- commit
+
+    def _commit_stage(self, now: int) -> None:
+        budget = self.config.width
+        start = now % self.num_threads
+        for offset in range(self.num_threads):
+            thread = self.threads[(start + offset) % self.num_threads]
+            if self.runahead.should_exit(thread, now):
+                self.runahead.exit(thread, now)
+                continue
+            budget = self._commit_thread(thread, now, budget)
+            if budget <= 0:
+                break
+
+    def _commit_thread(self, thread: ThreadContext, now: int,
+                       budget: int) -> int:
+        rob = self.rob
+        tid = thread.tid
+        while budget > 0 and not rob.is_empty(tid):
+            head = rob.head(tid)
+            if thread.mode == ThreadMode.NORMAL:
+                if head.state == InstState.COMPLETED:
+                    self._commit(thread, head, now)
+                    budget -= 1
+                elif (self.policy.uses_runahead
+                      and self.runahead.should_enter(thread, head, now)):
+                    self._enter_runahead(thread, head, now)
+                    budget -= 1
+                    break
+                else:
+                    break
+            else:
+                if head.state == InstState.COMPLETED:
+                    self._pseudo_retire(thread, head, now)
+                    budget -= 1
+                else:
+                    break
+        return budget
+
+    def _commit(self, thread: ThreadContext, inst: DynInst,
+                now: int) -> None:
+        self.rob.pop_head(thread.tid)
+        inst.state = InstState.RETIRED
+        thread.rob_held -= 1
+        thread.stats.committed += 1
+        self.gstats.committed += 1
+        self._last_commit_cycle = now
+        if inst.pdest != NO_REG:
+            klass = reg_class(inst.dest_arch)
+            arch_index = inst.dest_arch if klass == RegClass.INT \
+                else inst.dest_arch - 32
+            old = thread.rename.commit_dest(klass, arch_index, inst.pdest)
+            if old != inst.pdest:
+                self._release_preg(thread, klass, old)
+        if inst.is_store:
+            self.mem.data_access(inst.addr, True, now, thread.tid)
+        if inst.trace_index == len(thread.trace) - 1:
+            thread.finished_passes += 1
+            thread.stats.passes += 1
+
+    def _pseudo_retire(self, thread: ThreadContext, inst: DynInst,
+                       now: int) -> None:
+        self.rob.pop_head(thread.tid)
+        inst.state = InstState.RETIRED
+        thread.rob_held -= 1
+        thread.stats.pseudo_retired += 1
+        self._last_commit_cycle = now  # forward progress, albeit speculative
+        if inst.dest_arch == NO_REG:
+            return
+        klass = reg_class(inst.dest_arch)
+        file = self.int_file if klass == RegClass.INT else self.fp_file
+        if inst.old_pdest != NO_REG and not file.pinned[inst.old_pdest]:
+            self._release_preg(thread, klass, inst.old_pdest)
+        self._recycle_runahead_dest(thread, inst)
+
+    def _enter_runahead(self, thread: ThreadContext, trigger: DynInst,
+                        now: int) -> None:
+        """Checkpoint and pseudo-retire the triggering L2-miss load (§3.1)."""
+        self.runahead.enter(thread, trigger, now)
+        self.rob.pop_head(thread.tid)
+        trigger.state = InstState.RETIRED
+        thread.rob_held -= 1
+        thread.stats.pseudo_retired += 1
+        if trigger.l2_counted:
+            trigger.l2_counted = False
+            thread.pending_l2_misses -= 1
+        # Bogus INV value: dependents fold as they wake.
+        if trigger.pdest != NO_REG:
+            klass = reg_class(trigger.dest_arch)
+            file = self.int_file if klass == RegClass.INT else self.fp_file
+            woken = file.set_ready(trigger.pdest, now, invalid=True)
+            for waiter in woken:
+                self._src_ready(waiter, now, trigger.pdest, True)
+            if trigger.old_pdest != NO_REG \
+                    and not file.pinned[trigger.old_pdest]:
+                self._release_preg(thread, klass, trigger.old_pdest)
+        # §3.2: every other in-flight long-latency load of this thread is
+        # invalidated too — its fill continues as a prefetch, but its
+        # dependents fold instead of clogging the shared issue queues for
+        # the whole episode.
+        horizon = now + self.config.dcache.latency + self.config.l2.latency
+        for inflight in self.rob.thread_window(thread.tid):
+            if (inflight.is_load and inflight.state == InstState.ISSUED
+                    and (inflight.l2_miss or inflight.complete_cycle > horizon)):
+                inflight.invalid = True
+                self._complete(inflight, now)
+        self._drain_folds(now)
+
+    def _release_preg(self, thread: ThreadContext, klass: int,
+                      preg: int) -> None:
+        file = self.int_file if klass == RegClass.INT else self.fp_file
+        file.release(preg)
+        thread.regs_held[klass] -= 1
+
+    def _recycle_runahead_dest(self, thread: ThreadContext,
+                               inst: DynInst) -> None:
+        """Early release of a runahead destination register (§3.3).
+
+        Invalid results hold no value ("when a physical register is
+        invalid this can be freed and used for the rest of the threads");
+        valid pseudo-retired results live on conceptually through the
+        checkpointed map — values are already computed, so later consumers
+        resolving to the architectural register observe correct timing.
+        Only applies while the mapping is still current and unpinned.
+        """
+        if inst.pdest == NO_REG:
+            return
+        klass = reg_class(inst.dest_arch)
+        file = self.int_file if klass == RegClass.INT else self.fp_file
+        if file.pinned[inst.pdest]:
+            return
+        arch_index = inst.dest_arch if klass == RegClass.INT \
+            else inst.dest_arch - 32
+        front = thread.rename.front[klass]
+        if front[arch_index] != inst.pdest:
+            return
+        front[arch_index] = thread.rename.arch[klass][arch_index]
+        self._release_preg(thread, klass, inst.pdest)
+        thread.note_arch_invalid(inst.dest_arch, inst.invalid)
+        inst.pdest = NO_REG
+
+    # --------------------------------------------------------------- issue
+
+    _QUEUE_FU = {
+        IssueQueueKind.INT: FUKind.INT,
+        IssueQueueKind.FP: FUKind.FP,
+        IssueQueueKind.LS: FUKind.LDST,
+    }
+
+    def _issue_stage(self, now: int) -> None:
+        for queue_kind in (IssueQueueKind.LS, IssueQueueKind.INT,
+                           IssueQueueKind.FP):
+            queue = self.queues[queue_kind]
+            budget = self.fus.available(self._QUEUE_FU[queue_kind])
+            if budget <= 0:
+                continue
+            for inst in queue.take_ready(budget):
+                self._issue(inst, queue, now)
+        self._drain_folds(now)
+
+    def _issue(self, inst: DynInst, queue: IssueQueue, now: int) -> None:
+        thread = self.threads[inst.tid]
+        if inst.is_load:
+            issued = self._issue_load(thread, inst, queue, now)
+            if not issued:
+                return
+        elif inst.is_store:
+            self._issue_store(thread, inst, now)
+        else:
+            latency = OP_LATENCY[OpClass(inst.op)]
+            inst.complete_cycle = now + latency
+            self.schedule(inst.complete_cycle, _EV_COMPLETE, inst)
+        self.fus.acquire(inst.op)
+        inst.state = InstState.ISSUED
+        queue.remove(inst)
+        self._uncount(inst)
+        thread.stats.issued += 1
+        thread.stats.executed += 1
+        self.gstats.executed += 1
+
+    def _issue_store(self, thread: ThreadContext, inst: DynInst,
+                     now: int) -> None:
+        """Stores compute their address at issue; memory is written at
+        commit (write buffer).  Runahead stores never write memory but do
+        prefetch their line and feed the runahead cache (§3.3)."""
+        inst.complete_cycle = now + 1
+        self.schedule(inst.complete_cycle, _EV_COMPLETE, inst)
+        if thread.in_runahead:
+            data_valid = not (inst.src_inv_mask & 2)
+            self.runahead.on_runahead_store(thread, inst, data_valid)
+            if self.runahead.prefetch:
+                self.mem.data_access(inst.addr, True, now, thread.tid,
+                                     speculative=True)
+
+    def _issue_load(self, thread: ThreadContext, inst: DynInst,
+                    queue: IssueQueue, now: int) -> bool:
+        """Issue a load; returns False if it must retry (MSHRs full)."""
+        if thread.in_runahead:
+            self._issue_runahead_load(thread, inst, now)
+            return True
+        result = self.mem.data_access(inst.addr, False, now, thread.tid)
+        if result is None:
+            # Demand miss rejected by a full MSHR file: replay next cycle.
+            queue.requeue(inst)
+            return False
+        inst.complete_cycle = result.complete_cycle
+        self.schedule(result.complete_cycle, _EV_COMPLETE, inst)
+        if result.l2_miss:
+            detect = min(result.complete_cycle,
+                         now + self.config.dcache.latency
+                         + self.config.l2.latency)
+            self.schedule(detect, _EV_L2_DETECT, inst)
+        return True
+
+    def _issue_runahead_load(self, thread: ThreadContext, inst: DynInst,
+                             now: int) -> None:
+        """Runahead loads: cache hits complete normally; L2 misses become
+        prefetches and produce INV at L2-lookup time (§3.2)."""
+        l1_latency = self.config.dcache.latency
+        detect_latency = l1_latency + self.config.l2.latency
+        forwarded = self.runahead.load_forward_validity(thread, inst)
+        if forwarded is not None:
+            inst.invalid = not forwarded
+            inst.complete_cycle = now + l1_latency
+            self.schedule(inst.complete_cycle, _EV_COMPLETE, inst)
+            return
+        if not self.runahead.prefetch:
+            # Figure 4 ablation: no L2/memory traffic from runahead.
+            level = self.mem.peek_data(inst.addr)
+            if level == "l1":
+                inst.complete_cycle = now + l1_latency
+            elif level == "l2":
+                inst.complete_cycle = now + detect_latency
+            else:
+                inst.invalid = True
+                inst.complete_cycle = now + detect_latency
+                thread.no_retrigger.add((inst.pass_no, inst.trace_index))
+            self.schedule(inst.complete_cycle, _EV_COMPLETE, inst)
+            return
+        result = self.mem.data_access(inst.addr, False, now, thread.tid,
+                                      speculative=True)
+        if result is None:
+            # Prefetch dropped (MSHRs full): bogus value, no retry.
+            inst.invalid = True
+            inst.complete_cycle = now + l1_latency
+        elif result.l2_miss:
+            # Long-latency: invalidate the dest, keep the fill as prefetch.
+            inst.invalid = True
+            inst.complete_cycle = min(result.complete_cycle,
+                                      now + detect_latency)
+            if self.runahead.stop_fetch_on_l2_miss:
+                thread.gate_fetch_until(thread.runahead_trigger_ready)
+        else:
+            inst.complete_cycle = result.complete_cycle
+        self.schedule(inst.complete_cycle, _EV_COMPLETE, inst)
+
+    # --------------------------------------------------------------- branch resolution
+
+    def _resolve_misprediction(self, inst: DynInst, now: int) -> None:
+        thread = self.threads[inst.tid]
+        thread.stats.mispredicts += 1
+        self.squash_thread_younger(thread, inst.seq)
+        next_index = inst.trace_index + 1
+        next_pass = inst.pass_no
+        if next_index >= len(thread.trace):
+            next_index = 0
+            next_pass += 1
+        thread.rewind_to(next_index, next_pass)
+        thread.block_fetch_until(now + self.config.redirect_penalty)
+
+    # --------------------------------------------------------------- squash
+
+    def squash_thread_younger(self, thread: ThreadContext,
+                              boundary_seq: int) -> int:
+        """Cancel all of a thread's instructions younger than a boundary.
+
+        Returns the number of instructions squashed.  Rename repair runs
+        youngest-first so front-end map restoration is exact.
+        """
+        count = 0
+        for inst in thread.fetch_queue:
+            self._uncount(inst)
+            inst.state = InstState.SQUASHED
+            thread.stats.squashed += 1
+            count += 1
+        thread.fetch_queue.clear()
+        for inst in self.rob.squash_younger(thread.tid, boundary_seq):
+            self._squash_rob_entry(thread, inst)
+            count += 1
+        thread.fetch_line = -1
+        return count
+
+    def squash_thread_all(self, thread: ThreadContext) -> int:
+        """Cancel every in-flight instruction of a thread (runahead exit)."""
+        return self.squash_thread_younger(thread, -1)
+
+    def _squash_rob_entry(self, thread: ThreadContext,
+                          inst: DynInst) -> None:
+        if inst.in_iq:
+            self.queues[OP_QUEUE[OpClass(inst.op)]].remove(inst)
+        self._uncount(inst)
+        if inst.l2_counted:
+            inst.l2_counted = False
+            thread.pending_l2_misses -= 1
+        thread.rob_held -= 1
+        if inst.pdest != NO_REG:
+            klass = reg_class(inst.dest_arch)
+            arch_index = inst.dest_arch if klass == RegClass.INT \
+                else inst.dest_arch - 32
+            thread.rename.undo_rename(klass, arch_index, inst.old_pdest)
+            self._release_preg(thread, klass, inst.pdest)
+        inst.state = InstState.SQUASHED
+        thread.stats.squashed += 1
+
+    # --------------------------------------------------------------- dispatch
+
+    def _dispatch_stage(self, now: int) -> None:
+        budget = self.config.width
+        start = now % self.num_threads
+        for offset in range(self.num_threads):
+            thread = self.threads[(start + offset) % self.num_threads]
+            while budget > 0 and thread.fetch_queue:
+                inst = thread.fetch_queue[0]
+                if not self._dispatch(thread, inst, now):
+                    self.gstats.dispatch_stalls += 1
+                    break
+                thread.fetch_queue.popleft()
+                budget -= 1
+            if budget <= 0:
+                break
+        self._drain_folds(now)
+
+    def _dispatch(self, thread: ThreadContext, inst: DynInst,
+                  now: int) -> bool:
+        """Rename and insert one instruction; False if resources lack."""
+        if self.rob.is_full():
+            return False
+        op = OpClass(inst.op)
+
+        drop_at_decode = thread.in_runahead and (
+            (self.runahead.fp_invalidation and op in FP_OPS)
+            or op is OpClass.SYNC)
+        if drop_at_decode:
+            # §3.3: FP compute and synchronization ops in runahead use no
+            # resources past decode — straight to pseudo-commit, INV.
+            self.rob.append(inst)
+            thread.rob_held += 1
+            inst.state = InstState.COMPLETED
+            inst.invalid = True
+            inst.complete_cycle = now
+            self._uncount(inst)
+            if op in FP_OPS and inst.dest_arch != NO_REG:
+                thread.note_arch_invalid(inst.dest_arch, True)
+            thread.stats.dispatched += 1
+            thread.stats.folded += 1
+            return True
+
+        queue = self.queues[OP_QUEUE[op]]
+        if queue.is_full():
+            return False
+        dest_file: Optional[PhysRegFile] = None
+        if inst.dest_arch != NO_REG:
+            dest_file = self.int_file \
+                if reg_class(inst.dest_arch) == RegClass.INT else self.fp_file
+            if dest_file.free_count == 0:
+                return False
+
+        self.rob.append(inst)
+        thread.rob_held += 1
+        inst.state = InstState.DISPATCHED
+        thread.stats.dispatched += 1
+
+        pending = 0
+        pending += self._rename_source(thread, inst, 1, now)
+        pending += self._rename_source(thread, inst, 2, now)
+        inst.pending_srcs = pending
+
+        if dest_file is not None:
+            preg = dest_file.alloc()
+            klass = reg_class(inst.dest_arch)
+            arch_index = inst.dest_arch if klass == RegClass.INT \
+                else inst.dest_arch - 32
+            inst.pdest = preg
+            inst.old_pdest = thread.rename.rename_dest(klass, arch_index,
+                                                       preg)
+            thread.regs_held[klass] += 1
+            # A renamed write supersedes any early-reclaimed INV producer.
+            thread.note_arch_invalid(inst.dest_arch, False)
+
+        queue.insert(inst)
+        if pending == 0:
+            if self._operands_invalid(inst):
+                self._fold(inst, now)
+            else:
+                inst.state = InstState.READY
+                queue.mark_ready(inst)
+        return True
+
+    def _rename_source(self, thread: ThreadContext, inst: DynInst,
+                       which: int, now: int) -> int:
+        """Rename one source; returns 1 if the operand is outstanding."""
+        arch = inst.src1_arch if which == 1 else inst.src2_arch
+        if arch == NO_REG:
+            return 0
+        if thread.arch_is_invalid(arch):
+            # The producer's register was reclaimed early (INV recycling or
+            # FP decode drop): the value is INV at architectural level;
+            # nothing to wait for, no register to read.
+            inst.src_inv_mask |= which
+            return 0
+        klass = reg_class(arch)
+        arch_index = arch if klass == RegClass.INT else arch - 32
+        preg = thread.rename.lookup(klass, arch_index)
+        file = self.int_file if klass == RegClass.INT else self.fp_file
+        if which == 1:
+            inst.psrc1 = preg
+        else:
+            inst.psrc2 = preg
+        if file.is_ready(preg, now):
+            if file.inv[preg]:
+                inst.src_inv_mask |= which
+            return 0
+        file.add_waiter(preg, inst)
+        return 1
+
+    # --------------------------------------------------------------- fetch
+
+    def _fetch_stage(self, now: int) -> None:
+        order = self.policy.fetch_order(now)
+        fetched_total = 0
+        threads_used = 0
+        width = self.config.width
+        for tid in order:
+            if threads_used >= self.config.fetch_threads:
+                break
+            if fetched_total >= width:
+                break
+            thread = self.threads[tid]
+            if not thread.can_fetch(now):
+                self.gstats.fetch_conflicts += 1
+                continue
+            taken = self._fetch_thread(thread, now, width - fetched_total)
+            if taken > 0:
+                fetched_total += taken
+                threads_used += 1
+
+    def _fetch_thread(self, thread: ThreadContext, now: int,
+                      limit: int) -> int:
+        count = 0
+        buffer_room = self.config.fetch_buffer_size - len(thread.fetch_queue)
+        limit = min(limit, buffer_room)
+        trace = thread.trace
+        while count < limit:
+            pc = int(trace.pc[thread.cursor]) + thread.code_offset
+            line = self.mem.icache.line_of(pc)
+            if line != thread.fetch_line:
+                result = self.mem.ifetch(pc, now, thread.tid,
+                                         speculative=thread.in_runahead)
+                thread.fetch_line = line
+                if result.complete_cycle > now + self.config.icache.latency:
+                    thread.block_fetch_until(result.complete_cycle)
+                    break
+            inst = thread.next_inst(self._gseq)
+            self._gseq += 1
+            inst.counted = True
+            thread.icount += 1
+            thread.stats.fetched += 1
+            thread.fetch_queue.append(inst)
+            count += 1
+            if inst.is_branch:
+                thread.stats.branches += 1
+                correct = self.predictor.predict(thread.tid, inst.pc,
+                                                 inst.taken)
+                inst.mispredicted = not correct
+                if inst.taken:
+                    # Taken branch ends this thread's fetch block; a BTB
+                    # miss costs one redirect bubble.
+                    if not self.btb.lookup_and_insert(inst.pc):
+                        thread.block_fetch_until(now + 2)
+                    break
+        return count
+
+    # --------------------------------------------------------------- sampling
+
+    def _sample_stats(self) -> None:
+        for thread in self.threads:
+            held = thread.regs_held[0] + thread.regs_held[1]
+            stats = thread.stats
+            if thread.in_runahead:
+                stats.runahead_cycles += 1
+                stats.runahead_reg_samples += 1
+                stats.runahead_regs_held += held
+            else:
+                stats.normal_reg_samples += 1
+                stats.normal_regs_held += held
+        self.gstats.cycles += 1
+
+    # --------------------------------------------------------------- invariants
+
+    def check_invariants(self) -> None:
+        """Structural consistency checks (used heavily by tests)."""
+        self.int_file.check_conservation()
+        self.fp_file.check_conservation()
+        self.rob.check_occupancy()
+        for thread in self.threads:
+            thread.rename.check_maps()
+        total_held_int = sum(t.regs_held[0] for t in self.threads)
+        total_held_fp = sum(t.regs_held[1] for t in self.threads)
+        if total_held_int != self.int_file.allocated_count:
+            raise SimulationError(
+                f"INT regs_held {total_held_int} != allocated "
+                f"{self.int_file.allocated_count}")
+        if total_held_fp != self.fp_file.allocated_count:
+            raise SimulationError(
+                f"FP regs_held {total_held_fp} != allocated "
+                f"{self.fp_file.allocated_count}")

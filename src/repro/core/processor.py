@@ -1,0 +1,225 @@
+"""Top-level simulator facade.
+
+:class:`SMTProcessor` wires traces, a configuration and a policy into an
+:class:`~repro.core.pipeline.SMTPipeline` and runs it under the FAME
+measurement discipline (threads loop their traces; measurement ends when
+every thread has completed the requested number of full passes), producing
+a :class:`SimResult`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from ..config import SMTConfig
+from ..errors import SimulationError
+from ..trace.trace import Trace
+from .pipeline import SMTPipeline
+from .stats import ThreadStats
+
+
+@dataclasses.dataclass
+class SimResult:
+    """Outcome of one simulation run."""
+
+    benchmarks: List[str]
+    policy: str
+    cycles: int
+    thread_stats: List[ThreadStats]
+    truncated: bool = False
+    l2_misses: List[int] = dataclasses.field(default_factory=list)
+
+    @property
+    def num_threads(self) -> int:
+        return len(self.benchmarks)
+
+    @property
+    def ipcs(self) -> List[float]:
+        """Per-thread IPC over the whole measured interval."""
+        return [stats.ipc(self.cycles) for stats in self.thread_stats]
+
+    @property
+    def throughput(self) -> float:
+        """Equation (1): average of per-thread IPCs."""
+        ipcs = self.ipcs
+        return sum(ipcs) / len(ipcs) if ipcs else 0.0
+
+    @property
+    def total_committed(self) -> int:
+        return sum(stats.committed for stats in self.thread_stats)
+
+    @property
+    def total_executed(self) -> int:
+        """Executed work, including speculative/squashed (energy proxy)."""
+        return sum(stats.executed for stats in self.thread_stats)
+
+    @property
+    def avg_cpi(self) -> float:
+        """Cycles per committed instruction, machine-wide."""
+        committed = self.total_committed
+        if committed == 0:
+            return float("inf")
+        return self.cycles / committed
+
+    def ed2(self) -> float:
+        """The paper's efficiency proxy, per unit of architectural work.
+
+        ED^2 = executed instructions x CPI^2, normalized by committed
+        instructions so runs of different FAME lengths are comparable:
+        (executed / committed) is the energy spent per useful instruction
+        and CPI^2 the squared delay per useful instruction.
+        """
+        committed = self.total_committed
+        if committed == 0:
+            return float("inf")
+        return (self.total_executed / committed) * self.avg_cpi ** 2
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "cycles": float(self.cycles),
+            "throughput": self.throughput,
+            "committed": float(self.total_committed),
+            "executed": float(self.total_executed),
+            "ed2": self.ed2(),
+        }
+
+
+class SMTProcessor:
+    """User-facing simulator: configure, run, inspect."""
+
+    def __init__(self, config: SMTConfig, traces: Sequence[Trace],
+                 policy=None) -> None:
+        """Build a processor.
+
+        Args:
+            config: Machine configuration (Table 1 defaults via
+                ``SMTConfig()``).
+            traces: One trace per hardware thread (1, 2 or 4 in the paper).
+            policy: A policy instance; by default ``config.policy`` is
+                resolved through :mod:`repro.policies.registry`.
+        """
+        from ..policies.registry import create_policy
+        if policy is None:
+            policy = create_policy(config.policy, config)
+        self.config = config
+        self.policy = policy
+        self.pipeline = SMTPipeline(config, list(traces), policy)
+        if config.warmup:
+            self._warm()
+
+    def _warm(self) -> None:
+        """Functional warmup: replay each trace's memory and branch streams
+        through the caches, BTB and predictor (no timing), then reset the
+        statistics so measurement starts from steady state.
+
+        Warmup is *selective*: a benchmark whose true working set (from its
+        profile) fits in the L2 would, in reality, keep it resident, so all
+        its lines are warmed.  A benchmark whose working set exceeds the L2
+        can only keep its temporally re-touched (hot) lines resident —
+        warming everything would let a short trace's small footprint
+        masquerade as cacheable — so only lines whose touches span a good
+        part of the trace are installed; bursty stream/cold-chase lines
+        stay cold and keep missing during measurement, as they would at
+        steady state.
+        """
+        import numpy as np
+        from ..isa import OpClass
+        pipeline = self.pipeline
+        mem = pipeline.mem
+        l2_bytes = self.config.l2.size_bytes
+        line_shift = self.config.l2.line_bytes.bit_length() - 1
+        for thread in pipeline.threads:
+            trace = thread.trace
+            ops = trace.op
+            mem_mask = np.isin(ops, (int(OpClass.LOAD), int(OpClass.STORE),
+                                     int(OpClass.FLOAD),
+                                     int(OpClass.FSTORE)))
+            addrs = trace.addr[mem_mask]
+            if thread.data_region <= 0.75 * l2_bytes:
+                chosen = addrs
+            else:
+                lines = addrs >> line_shift
+                order = np.arange(len(lines))
+                first: dict = {}
+                last: dict = {}
+                for position, line in zip(order, lines):
+                    line_key = int(line)
+                    if line_key not in first:
+                        first[line_key] = position
+                    last[line_key] = position
+                span_needed = max(1, len(lines) // 4)
+                resident = {line for line in first
+                            if last[line] - first[line] >= span_needed}
+                keep = np.fromiter((int(line) in resident for line in lines),
+                                   dtype=bool, count=len(lines))
+                chosen = addrs[keep]
+            for addr in chosen:
+                mem.warm_data(thread.physical_addr(int(addr), 0))
+            line_bytes = self.config.icache.line_bytes
+            last_line = -1
+            branch_op = int(OpClass.BRANCH)
+            taken_col = trace.taken
+            branch_pcs = []
+            for index, pc in enumerate(trace.pc):
+                full_pc = int(pc) + thread.code_offset
+                line = full_pc // line_bytes
+                if line != last_line:
+                    mem.warm_ifetch(full_pc)
+                    last_line = line
+                if ops[index] == branch_op:
+                    branch_pcs.append((full_pc, bool(taken_col[index])))
+                    if taken_col[index]:
+                        pipeline.btb.lookup_and_insert(full_pc)
+            # Two training passes: the perceptron needs more than one
+            # exposure per branch site to reach its steady accuracy.
+            for _ in range(2):
+                for full_pc, taken in branch_pcs:
+                    pipeline.predictor.predict(thread.tid, full_pc, taken)
+        mem.reset_stats()
+        pipeline.predictor.predictions = 0
+        pipeline.predictor.mispredictions = 0
+        pipeline.btb.hits = 0
+        pipeline.btb.misses = 0
+
+    @property
+    def cycle(self) -> int:
+        return self.pipeline.cycle
+
+    @property
+    def threads(self):
+        return self.pipeline.threads
+
+    def step(self, cycles: int = 1) -> None:
+        """Advance the machine (mainly for tests and debugging)."""
+        for _ in range(cycles):
+            self.pipeline.step()
+
+    def run(self, min_passes: int = 1,
+            max_cycles: Optional[int] = None) -> SimResult:
+        """Run under FAME: stop once every thread finished ``min_passes``
+        full trace executions (or at the cycle cap, flagged ``truncated``).
+        """
+        if min_passes < 1:
+            raise SimulationError("min_passes must be >= 1")
+        cap = max_cycles if max_cycles is not None else self.config.max_cycles
+        pipeline = self.pipeline
+        threads = pipeline.threads
+        truncated = False
+        while any(t.finished_passes < min_passes for t in threads):
+            if pipeline.cycle >= cap:
+                truncated = True
+                break
+            pipeline.step()
+        return self._result(truncated)
+
+    def _result(self, truncated: bool) -> SimResult:
+        pipeline = self.pipeline
+        return SimResult(
+            benchmarks=[t.trace.name for t in pipeline.threads],
+            policy=self.policy.name,
+            cycles=max(1, pipeline.cycle),
+            thread_stats=[t.stats for t in pipeline.threads],
+            truncated=truncated,
+            l2_misses=[s.l2_misses for s in pipeline.mem.stats],
+        )

@@ -1,0 +1,95 @@
+"""Shared reorder buffer.
+
+The paper's machine uses a single 512-entry ROB shared by all threads
+(Table 1, §4): a thread blocked on memory starves co-runners by *occupying*
+entries, not by head-of-line blocking — each thread retires its own stream
+in order.  This is modelled as one FIFO per thread plus a shared capacity
+counter.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, List
+
+from ..errors import SimulationError
+from .dyninst import DynInst
+
+
+class SharedROB:
+    """Per-thread in-order windows drawing from one shared entry pool."""
+
+    __slots__ = ("capacity", "_queues", "_occupancy", "per_thread")
+
+    def __init__(self, capacity: int, num_threads: int) -> None:
+        if capacity < 1 or num_threads < 1:
+            raise ValueError("capacity and num_threads must be >= 1")
+        self.capacity = capacity
+        self._queues: List[Deque[DynInst]] = [deque()
+                                              for _ in range(num_threads)]
+        self._occupancy = 0
+        self.per_thread = [0] * num_threads
+
+    @property
+    def occupancy(self) -> int:
+        return self._occupancy
+
+    @property
+    def free_entries(self) -> int:
+        return self.capacity - self._occupancy
+
+    def is_full(self) -> bool:
+        return self._occupancy >= self.capacity
+
+    def append(self, inst: DynInst) -> None:
+        if self.is_full():
+            raise SimulationError("ROB overflow")
+        self._queues[inst.tid].append(inst)
+        self._occupancy += 1
+        self.per_thread[inst.tid] += 1
+
+    def head(self, tid: int) -> DynInst:
+        """Oldest un-retired instruction of a thread (raises if empty)."""
+        return self._queues[tid][0]
+
+    def is_empty(self, tid: int) -> bool:
+        return not self._queues[tid]
+
+    def pop_head(self, tid: int) -> DynInst:
+        """Retire the thread's oldest instruction."""
+        inst = self._queues[tid].popleft()
+        self._occupancy -= 1
+        self.per_thread[tid] -= 1
+        return inst
+
+    def squash_younger(self, tid: int, boundary_seq: int) -> List[DynInst]:
+        """Remove all of a thread's instructions younger than ``boundary_seq``.
+
+        Returned youngest-first, which is the order squash repair must
+        undo renames in.
+        """
+        queue = self._queues[tid]
+        squashed: List[DynInst] = []
+        while queue and queue[-1].seq > boundary_seq:
+            squashed.append(queue.pop())
+            self._occupancy -= 1
+            self.per_thread[tid] -= 1
+        return squashed
+
+    def squash_all(self, tid: int) -> List[DynInst]:
+        """Remove every instruction of a thread (runahead exit), youngest-first."""
+        return self.squash_younger(tid, -1)
+
+    def thread_window(self, tid: int) -> Iterable[DynInst]:
+        """The thread's in-flight instructions, oldest first (read-only)."""
+        return iter(self._queues[tid])
+
+    def check_occupancy(self) -> None:
+        total = sum(len(q) for q in self._queues)
+        if total != self._occupancy:
+            raise SimulationError(
+                f"ROB occupancy counter {self._occupancy} != {total}")
+        for tid, queue in enumerate(self._queues):
+            if len(queue) != self.per_thread[tid]:
+                raise SimulationError(
+                    f"ROB per-thread counter broken for t{tid}")

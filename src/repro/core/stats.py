@@ -1,0 +1,64 @@
+"""Simulation statistics.
+
+``executed`` counts every instruction the machine did work for — committed,
+pseudo-retired, folded, and squashed-after-execution alike — because the
+paper's energy proxy is "number of executed instructions" (§5.3).
+``committed`` counts only architecturally-retired work, the numerator of IPC.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+
+@dataclasses.dataclass
+class ThreadStats:
+    """Per-thread counters."""
+
+    fetched: int = 0
+    dispatched: int = 0
+    issued: int = 0
+    folded: int = 0           # invalid instructions never executed (runahead)
+    executed: int = 0         # finished execution (valid) or folded
+    committed: int = 0        # architectural retirement
+    pseudo_retired: int = 0   # runahead-mode retirement
+    squashed: int = 0
+    branches: int = 0
+    mispredicts: int = 0
+    runahead_episodes: int = 0
+    runahead_cycles: int = 0
+    passes: int = 0           # complete trace re-executions (FAME)
+
+    # Register-file occupancy sampling for Figure 5, split by mode.
+    normal_reg_samples: int = 0
+    normal_regs_held: int = 0
+    runahead_reg_samples: int = 0
+    runahead_regs_held: int = 0
+
+    def ipc(self, cycles: int) -> float:
+        return self.committed / cycles if cycles > 0 else 0.0
+
+    def avg_regs_normal(self) -> float:
+        if self.normal_reg_samples == 0:
+            return 0.0
+        return self.normal_regs_held / self.normal_reg_samples
+
+    def avg_regs_runahead(self) -> float:
+        if self.runahead_reg_samples == 0:
+            return 0.0
+        return self.runahead_regs_held / self.runahead_reg_samples
+
+
+@dataclasses.dataclass
+class GlobalStats:
+    """Whole-processor counters."""
+
+    cycles: int = 0
+    executed: int = 0
+    committed: int = 0
+    fetch_conflicts: int = 0   # cycles a gated thread was skipped at fetch
+    dispatch_stalls: int = 0   # dispatch attempts blocked by a full resource
+
+    def as_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the simulator derive from :class:`ReproError` so that
+callers can catch simulator problems without masking unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """An :class:`~repro.config.SMTConfig` field is invalid or inconsistent."""
+
+
+class TraceError(ReproError):
+    """A trace is malformed or a trace generator was misconfigured."""
+
+
+class UnknownBenchmarkError(TraceError):
+    """A benchmark name has no registered profile."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown benchmark: {name!r}")
+        self.name = name
+
+
+class UnknownWorkloadError(TraceError):
+    """A workload-class name is not one of the Table 2 classes."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown workload class: {name!r}")
+        self.name = name
+
+
+class UnknownPolicyError(ReproError):
+    """A policy name has no registered implementation."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown policy: {name!r}")
+        self.name = name
+
+
+class SimulationError(ReproError):
+    """The simulator reached an impossible state (internal invariant broken)."""
+
+
+class DeadlockError(SimulationError):
+    """No forward progress was made for an implausible number of cycles."""
+
+    def __init__(self, cycle: int, detail: str = "") -> None:
+        message = f"simulator deadlock detected at cycle {cycle}"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+        self.cycle = cycle

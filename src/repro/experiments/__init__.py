@@ -1,0 +1,44 @@
+"""Experiment drivers: one module per paper exhibit.
+
+Each module exposes ``run(...)`` returning an :class:`ExhibitResult` whose
+``render()`` prints the same rows/series the paper reports.  The drivers
+share memoized simulation runs (see :mod:`repro.sim.runner`), so invoking
+several figures in one process costs little more than the union of their
+unique runs — exactly like the paper's single simulation campaign.
+"""
+
+from .common import ExhibitResult, bench_spec, bench_workloads_per_class
+from .table1 import run as table1
+from .table2 import run as table2
+from .figure1 import run as figure1
+from .figure2 import run as figure2
+from .figure3 import run as figure3
+from .figure4 import run as figure4
+from .figure5 import run as figure5
+from .figure6 import run as figure6
+
+EXHIBITS = {
+    "table1": table1,
+    "table2": table2,
+    "figure1": figure1,
+    "figure2": figure2,
+    "figure3": figure3,
+    "figure4": figure4,
+    "figure5": figure5,
+    "figure6": figure6,
+}
+
+__all__ = [
+    "ExhibitResult",
+    "bench_spec",
+    "bench_workloads_per_class",
+    "EXHIBITS",
+    "table1",
+    "table2",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+]

@@ -1,0 +1,64 @@
+"""Shared pieces of the experiment drivers."""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Callable, Dict, Optional, Sequence
+
+from ..config import SMTConfig, baseline
+from ..sim.runner import RunSpec, default_spec
+from ..trace.workloads import WORKLOAD_CLASSES
+
+#: The static I-fetch policies of §5.1 (ICOUNT is the common baseline).
+FETCH_POLICIES = ("icount", "stall", "flush", "rat")
+
+#: The dynamic resource-control comparison of §5.2.
+RESOURCE_POLICIES = ("icount", "dcra", "hill", "rat")
+
+#: Everything Figure 3 charges for energy, normalized to ICOUNT.
+ENERGY_POLICIES = ("stall", "flush", "dcra", "hill", "rat")
+
+#: Environment variable limiting workloads per class (benchmark harness
+#: uses this to keep wall-clock sane; unset = the full Table 2 set).
+BENCH_WORKLOADS_ENV = "REPRO_BENCH_WORKLOADS"
+
+
+def bench_workloads_per_class(default: Optional[int] = None) -> Optional[int]:
+    """Workloads-per-class cap from the environment, if any."""
+    raw = os.environ.get(BENCH_WORKLOADS_ENV)
+    if raw is None:
+        return default
+    value = int(raw)
+    return value if value > 0 else None
+
+
+def bench_spec() -> RunSpec:
+    """Run spec used by the benchmark harness (env-tunable)."""
+    return default_spec()
+
+
+@dataclasses.dataclass
+class ExhibitResult:
+    """Outcome of one experiment driver."""
+
+    exhibit: str
+    title: str
+    data: Dict
+    _renderer: Callable[["ExhibitResult"], str] = dataclasses.field(
+        repr=False, default=None)  # type: ignore[assignment]
+
+    def render(self) -> str:
+        """Plain-text reproduction of the paper's table/figure."""
+        header = f"== {self.exhibit}: {self.title} =="
+        body = self._renderer(self) if self._renderer else str(self.data)
+        return f"{header}\n{body}"
+
+
+def resolve(config: Optional[SMTConfig],
+            spec: Optional[RunSpec],
+            classes: Optional[Sequence[str]]):
+    """Fill in experiment defaults."""
+    return (config or baseline(),
+            spec or default_spec(),
+            tuple(classes) if classes else WORKLOAD_CLASSES)

@@ -1,0 +1,74 @@
+"""Figure 1: throughput and fairness of the static I-fetch policies.
+
+Compares ICOUNT (baseline), STALL, FLUSH and RaT over the six workload
+classes — the paper's headline comparison (§5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..config import SMTConfig
+from ..sim.runner import RunSpec
+from ..sim.sweep import sweep_policies
+from .common import ExhibitResult, FETCH_POLICIES, resolve
+from .report import ascii_table
+
+
+def _sweep_tables(policies, classes, sweep):
+    throughput_rows = [
+        [policy] + [sweep.metric(policy, klass, "throughput")
+                    for klass in classes]
+        for policy in policies
+    ]
+    fairness_rows = [
+        [policy] + [sweep.metric(policy, klass, "fairness")
+                    for klass in classes]
+        for policy in policies
+    ]
+    return throughput_rows, fairness_rows
+
+
+def _render_sweep(result: ExhibitResult) -> str:
+    classes = result.data["classes"]
+    headers = ("Policy",) + tuple(classes)
+    parts = [ascii_table(headers, result.data["throughput"],
+                         title="(a) Throughput (IPC)")]
+    parts.append("")
+    parts.append(ascii_table(headers, result.data["fairness"],
+                             title="(b) Fairness (hmean of speedups)"))
+    relatives = result.data["relative_throughput"]
+    parts.append("")
+    parts.append(ascii_table(
+        ("Policy",) + tuple(classes),
+        relatives, title="Throughput relative to ICOUNT"))
+    return "\n".join(parts)
+
+
+def run(config: Optional[SMTConfig] = None,
+        spec: Optional[RunSpec] = None,
+        classes: Optional[Sequence[str]] = None,
+        workloads_per_class: Optional[int] = None) -> ExhibitResult:
+    config, spec, classes = resolve(config, spec, classes)
+    sweep = sweep_policies(FETCH_POLICIES, classes, config, spec,
+                           workloads_per_class)
+    throughput_rows, fairness_rows = _sweep_tables(FETCH_POLICIES, classes,
+                                                   sweep)
+    relative = [
+        [policy] + sweep.relative(policy, "icount", "throughput")
+        for policy in FETCH_POLICIES
+    ]
+    return ExhibitResult(
+        exhibit="Figure 1",
+        title="Throughput and fairness for I-Fetch policies "
+              "(ICOUNT / STALL / FLUSH / RaT)",
+        data={
+            "classes": list(classes),
+            "policies": list(FETCH_POLICIES),
+            "throughput": throughput_rows,
+            "fairness": fairness_rows,
+            "relative_throughput": relative,
+            "sweep": sweep,
+        },
+        _renderer=_render_sweep,
+    )

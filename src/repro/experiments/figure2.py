@@ -1,0 +1,44 @@
+"""Figure 2: throughput and fairness of dynamic resource-control policies.
+
+Compares ICOUNT (baseline), DCRA, Hill Climbing (Hill-Thru variant) and
+RaT over the six workload classes (§5.2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..config import SMTConfig
+from ..sim.runner import RunSpec
+from ..sim.sweep import sweep_policies
+from .common import ExhibitResult, RESOURCE_POLICIES, resolve
+from .figure1 import _render_sweep, _sweep_tables
+
+
+def run(config: Optional[SMTConfig] = None,
+        spec: Optional[RunSpec] = None,
+        classes: Optional[Sequence[str]] = None,
+        workloads_per_class: Optional[int] = None) -> ExhibitResult:
+    config, spec, classes = resolve(config, spec, classes)
+    sweep = sweep_policies(RESOURCE_POLICIES, classes, config, spec,
+                           workloads_per_class)
+    throughput_rows, fairness_rows = _sweep_tables(RESOURCE_POLICIES,
+                                                   classes, sweep)
+    relative = [
+        [policy] + sweep.relative(policy, "icount", "throughput")
+        for policy in RESOURCE_POLICIES
+    ]
+    return ExhibitResult(
+        exhibit="Figure 2",
+        title="Throughput and fairness for resource control policies "
+              "(ICOUNT / DCRA / HillClimbing / RaT)",
+        data={
+            "classes": list(classes),
+            "policies": list(RESOURCE_POLICIES),
+            "throughput": throughput_rows,
+            "fairness": fairness_rows,
+            "relative_throughput": relative,
+            "sweep": sweep,
+        },
+        _renderer=_render_sweep,
+    )

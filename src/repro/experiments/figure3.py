@@ -1,0 +1,56 @@
+"""Figure 3: Energy-Delay² normalized to ICOUNT (§5.3).
+
+ED² = executed instructions x CPI², with all executed work (committed,
+squashed, runahead-speculative) charged at unit energy — the paper's own
+approximation.  Bars below 1.0 beat the ICOUNT baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..config import SMTConfig
+from ..sim.runner import RunSpec
+from ..sim.sweep import sweep_policies
+from .common import ENERGY_POLICIES, ExhibitResult, resolve
+from .report import ascii_table
+
+
+def run(config: Optional[SMTConfig] = None,
+        spec: Optional[RunSpec] = None,
+        classes: Optional[Sequence[str]] = None,
+        workloads_per_class: Optional[int] = None) -> ExhibitResult:
+    config, spec, classes = resolve(config, spec, classes)
+    policies = ("icount",) + ENERGY_POLICIES
+    sweep = sweep_policies(policies, classes, config, spec,
+                           workloads_per_class)
+
+    normalized: Dict[str, Dict[str, float]] = {}
+    for policy in ENERGY_POLICIES:
+        normalized[policy] = {}
+        for klass in classes:
+            baseline_ed2 = sweep.metric("icount", klass, "ed2")
+            own = sweep.metric(policy, klass, "ed2")
+            normalized[policy][klass] = (own / baseline_ed2
+                                         if baseline_ed2 else float("inf"))
+
+    rows = [
+        [policy] + [normalized[policy][klass] for klass in classes]
+        + [sum(normalized[policy][klass] for klass in classes)
+           / len(classes)]
+        for policy in ENERGY_POLICIES
+    ]
+
+    def _render(result: ExhibitResult) -> str:
+        headers = ("Policy",) + tuple(result.data["classes"]) + ("avg",)
+        return ascii_table(
+            headers, result.data["rows"],
+            title="ED^2 normalized to ICOUNT (lower is better)")
+
+    return ExhibitResult(
+        exhibit="Figure 3",
+        title="Energy-Delay^2 relative to ICOUNT",
+        data={"classes": list(classes), "rows": rows,
+              "normalized": normalized, "sweep": sweep},
+        _renderer=_render,
+    )

@@ -1,0 +1,76 @@
+"""Figure 5: physical registers allocated per cycle, normal vs runahead.
+
+For RaT runs, the pipeline samples each thread's allocated register count
+every cycle, split by the thread's mode.  The paper's point: runahead-mode
+threads hold far fewer registers (memory-bound workloads use less than
+half), which is what later justifies shrinking the register file
+(Figure 6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..config import SMTConfig
+from ..sim.runner import RunSpec, run_workload
+from ..trace.workloads import get_workloads
+from .common import ExhibitResult, resolve
+from .report import ascii_table
+
+
+def _class_register_usage(klass: str, config: SMTConfig, spec: RunSpec,
+                          workloads_per_class: Optional[int]
+                          ) -> Tuple[float, float]:
+    """(avg regs/cycle in normal mode, avg in runahead mode) per thread."""
+    workloads = get_workloads(klass)
+    if workloads_per_class is not None:
+        workloads = workloads[:workloads_per_class]
+    normal_values = []
+    runahead_values = []
+    for workload in workloads:
+        run = run_workload(workload, "rat", config, spec)
+        for stats in run.result.thread_stats:
+            # Compare the two modes of the *same* threads: only programs
+            # that actually run ahead contribute, otherwise ILP co-runners
+            # (which never enter runahead) would dilute the normal-mode bar.
+            if not stats.runahead_reg_samples:
+                continue
+            if stats.normal_reg_samples:
+                normal_values.append(stats.avg_regs_normal())
+            runahead_values.append(stats.avg_regs_runahead())
+    normal = sum(normal_values) / len(normal_values) if normal_values else 0.0
+    runahead = (sum(runahead_values) / len(runahead_values)
+                if runahead_values else 0.0)
+    return normal, runahead
+
+
+def run(config: Optional[SMTConfig] = None,
+        spec: Optional[RunSpec] = None,
+        classes: Optional[Sequence[str]] = None,
+        workloads_per_class: Optional[int] = None) -> ExhibitResult:
+    config, spec, classes = resolve(config, spec, classes)
+    usage: Dict[str, Tuple[float, float]] = {
+        klass: _class_register_usage(klass, config, spec,
+                                     workloads_per_class)
+        for klass in classes
+    }
+    rows = []
+    for klass in classes:
+        normal, runahead = usage[klass]
+        ratio = runahead / normal if normal else 0.0
+        rows.append([klass, normal, runahead, ratio])
+
+    def _render(result: ExhibitResult) -> str:
+        return ascii_table(
+            ("Workloads", "Normal mode", "Runahead mode", "RA/normal"),
+            result.data["rows"],
+            title="Average physical registers allocated per cycle "
+                  "(per thread)")
+
+    return ExhibitResult(
+        exhibit="Figure 5",
+        title="Average physical registers used per cycle, "
+              "normal vs runahead mode",
+        data={"classes": list(classes), "rows": rows, "usage": usage},
+        _renderer=_render,
+    )

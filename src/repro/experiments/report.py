@@ -1,0 +1,61 @@
+"""Plain-text rendering of experiment results (tables and bar charts)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def ascii_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                title: str = "") -> str:
+    """Fixed-width table; floats are rendered with 3 decimals."""
+    def _format(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    formatted = [[_format(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in formatted:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(header.ljust(widths[column])
+                            for column, header in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in formatted:
+        lines.append("  ".join(cell.rjust(widths[column]) if column else
+                               cell.ljust(widths[column])
+                               for column, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def bar_chart(series: Dict[str, Dict[str, float]],
+              title: str = "", width: int = 40,
+              value_format: str = "{:.3f}",
+              max_value: Optional[float] = None) -> str:
+    """Horizontal bar chart: ``series[group][bar] = value``.
+
+    Groups render as blocks of labelled bars, the way the paper's grouped
+    bar figures read.
+    """
+    values = [value for bars in series.values() for value in bars.values()]
+    if not values:
+        return title
+    scale = max_value if max_value is not None else max(values)
+    scale = scale if scale > 0 else 1.0
+    label_width = max((len(bar) for bars in series.values()
+                       for bar in bars), default=0)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for group, bars in series.items():
+        lines.append(f"{group}:")
+        for bar_label, value in bars.items():
+            filled = int(round(width * min(value, scale) / scale))
+            bar = "#" * filled
+            lines.append(f"  {bar_label.ljust(label_width)} "
+                         f"{value_format.format(value).rjust(7)} |{bar}")
+    return "\n".join(lines)

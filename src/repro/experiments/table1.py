@@ -1,0 +1,25 @@
+"""Table 1: the simulated SMT processor baseline configuration."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import SMTConfig, baseline
+from .common import ExhibitResult
+from .report import ascii_table
+
+
+def run(config: Optional[SMTConfig] = None, **_ignored) -> ExhibitResult:
+    """Render the active configuration as the paper's Table 1."""
+    config = config or baseline()
+    rows = list(config.table1_rows())
+
+    def _render(result: ExhibitResult) -> str:
+        return ascii_table(("Parameter", "Value"), result.data["rows"])
+
+    return ExhibitResult(
+        exhibit="Table 1",
+        title="SMT processor baseline configuration",
+        data={"rows": rows, "config": config},
+        _renderer=_render,
+    )

@@ -1,0 +1,14 @@
+"""Memory-hierarchy substrate: caches, MSHRs, and main memory.
+
+Implements the Table 1 memory subsystem: 64 KB 4-way L1 I/D caches, a
+unified 1 MB 8-way L2, 64-byte lines, and a 400-cycle main memory, with
+MSHR-based miss merging so that overlapping misses to one line collapse
+into a single fill (the memory-level parallelism that Runahead Threads
+exploit).
+"""
+
+from .cache import Cache
+from .mshr import MSHRFile
+from .hierarchy import AccessResult, MemoryHierarchy, MemStats
+
+__all__ = ["Cache", "MSHRFile", "AccessResult", "MemoryHierarchy", "MemStats"]

@@ -1,0 +1,229 @@
+"""The full memory hierarchy: L1 I/D, unified L2, main memory, MSHRs.
+
+Timing model
+------------
+Latencies are sequential probes, per Table 1: an L1 data hit completes in
+3 cycles; an L1 miss that hits L2 in 3+20; an L2 miss in 3+20+400.  Cache
+arrays are filled eagerly at miss time, and the MSHR file enforces that any
+access to a line whose fill is still in flight completes no earlier than
+the fill (see :mod:`repro.mem.mshr`).  Misses to one line therefore merge —
+this is what lets runahead prefetches overlap.
+
+Stores are write-allocate and never block retirement (a write buffer is
+assumed); they bypass MSHR capacity limits.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Set
+
+from ..config import SMTConfig
+from .cache import Cache
+from .mshr import MSHRFile
+
+
+@dataclasses.dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one memory access."""
+
+    complete_cycle: int   # cycle at which data is available
+    l2_miss: bool         # data is being served by main memory
+    line_addr: int
+    merged: bool = False  # satisfied by an already-outstanding fill
+
+
+@dataclasses.dataclass
+class MemStats:
+    """Per-thread memory statistics."""
+
+    loads: int = 0
+    stores: int = 0
+    ifetches: int = 0
+    l1d_misses: int = 0
+    l1i_misses: int = 0
+    l2_misses: int = 0
+    merges: int = 0
+    prefetches: int = 0
+    useful_prefetches: int = 0
+
+    def l2_mpki(self, instructions: int) -> float:
+        """L2 misses per kilo-instruction."""
+        if instructions <= 0:
+            return 0.0
+        return 1000.0 * self.l2_misses / instructions
+
+
+class MemoryHierarchy:
+    """Shared I/D L1s, unified L2 and main memory for all SMT threads."""
+
+    def __init__(self, config: SMTConfig, num_threads: int) -> None:
+        self.config = config
+        self.icache = Cache("icache", config.icache)
+        self.dcache = Cache("dcache", config.dcache)
+        self.l2 = Cache("l2", config.l2)
+        self.mshr = MSHRFile(config.mshr_entries)
+        self.memory_latency = config.memory_latency
+        self.stats: List[MemStats] = [MemStats() for _ in range(num_threads)]
+        self._prefetched_lines: Set[int] = set()
+
+    # --- data side -------------------------------------------------------------
+
+    def data_access(self, addr: int, is_store: bool, now: int,
+                    thread_id: int,
+                    speculative: bool = False) -> Optional[AccessResult]:
+        """Access data memory.
+
+        Args:
+            addr: Byte address (already offset into the thread's segment).
+            is_store: Write access (write-allocate, never rejected).
+            now: Current cycle.
+            thread_id: Accessing thread, for statistics.
+            speculative: Runahead prefetch; dropped (returns None) instead
+                of retried when the MSHR file is full.
+
+        Returns:
+            The access result, or None if the access must be retried
+            (demand miss with a full MSHR file) or was dropped (speculative
+            miss with a full MSHR file).
+        """
+        stats = self.stats[thread_id]
+        if speculative:
+            stats.prefetches += 1
+        elif is_store:
+            stats.stores += 1
+        else:
+            stats.loads += 1
+
+        line = self.dcache.line_of(addr)
+        pending = self.mshr.pending(line, now)
+        if pending is not None:
+            ready, from_memory = pending
+            stats.merges += 1
+            complete = max(ready, now + self.dcache.latency)
+            return AccessResult(complete, from_memory, line, merged=True)
+
+        if self.dcache.lookup(line):
+            self._credit_prefetch(line, stats, speculative)
+            return AccessResult(now + self.dcache.latency, False, line)
+
+        stats.l1d_misses += 1
+        probe_done = now + self.dcache.latency
+        if self.l2.lookup(line):
+            self._credit_prefetch(line, stats, speculative)
+            complete = probe_done + self.l2.latency
+            self.dcache.fill(line)
+            # Best-effort MSHR registration for the short L2-hit window.
+            self.mshr.allocate(line, complete, False, now)
+            return AccessResult(complete, False, line)
+
+        # L2 miss: full memory round trip.
+        complete = probe_done + self.l2.latency + self.memory_latency
+        if not self.mshr.allocate(line, complete, True, now):
+            if is_store:
+                # Stores drain through a write buffer; never rejected.
+                self._entries_force(line, complete)
+            else:
+                return None
+        stats.l2_misses += 1
+        self.l2.fill(line)
+        self.dcache.fill(line)
+        if speculative:
+            self._prefetched_lines.add(line)
+        return AccessResult(complete, True, line)
+
+    def _entries_force(self, line: int, complete: int) -> None:
+        """Register a fill past MSHR capacity (store write-buffer path)."""
+        self.mshr._entries[line] = (complete, True)
+
+    def _credit_prefetch(self, line: int, stats: MemStats,
+                         speculative: bool) -> None:
+        if not speculative and line in self._prefetched_lines:
+            self._prefetched_lines.discard(line)
+            stats.useful_prefetches += 1
+
+    def peek_data(self, addr: int) -> str:
+        """Side-effect-free presence probe: 'l1', 'l2', or 'memory'.
+
+        Used by the Figure 4 prefetching ablation, where runahead accesses
+        must not touch the L2 or memory (no fills, no MSHR traffic, no
+        statistics).
+        """
+        line = self.dcache.line_of(addr)
+        if self.dcache.contains(line):
+            return "l1"
+        if self.l2.contains(line):
+            return "l2"
+        return "memory"
+
+    # --- instruction side ------------------------------------------------------
+
+    def ifetch(self, pc: int, now: int, thread_id: int,
+               speculative: bool = False) -> AccessResult:
+        """Fetch the instruction line containing ``pc``."""
+        stats = self.stats[thread_id]
+        stats.ifetches += 1
+        line = self.icache.line_of(pc)
+        pending = self.mshr.pending(line, now)
+        if pending is not None:
+            ready, from_memory = pending
+            stats.merges += 1
+            return AccessResult(max(ready, now + self.icache.latency),
+                                from_memory, line, merged=True)
+        if self.icache.lookup(line):
+            return AccessResult(now + self.icache.latency, False, line)
+        stats.l1i_misses += 1
+        probe_done = now + self.icache.latency
+        if self.l2.lookup(line):
+            complete = probe_done + self.l2.latency
+            self.icache.fill(line)
+            self.mshr.allocate(line, complete, False, now)
+            return AccessResult(complete, False, line)
+        complete = probe_done + self.l2.latency + self.memory_latency
+        stats.l2_misses += 1
+        self.icache.fill(line)
+        self.l2.fill(line)
+        self.mshr.allocate(line, complete, True, now)
+        if speculative:
+            self._prefetched_lines.add(line)
+        return AccessResult(complete, True, line)
+
+    # --- functional warmup -----------------------------------------------------
+
+    def warm_data(self, addr: int) -> None:
+        """Install a data line without timing or statistics (warmup)."""
+        line = self.dcache.line_of(addr)
+        if not self.dcache.touch(line):
+            self.dcache.fill(line)
+        if not self.l2.touch(line):
+            self.l2.fill(line)
+
+    def warm_ifetch(self, pc: int) -> None:
+        """Install an instruction line without timing or statistics."""
+        line = self.icache.line_of(pc)
+        if not self.icache.touch(line):
+            self.icache.fill(line)
+        if not self.l2.touch(line):
+            self.l2.fill(line)
+
+    def reset_stats(self) -> None:
+        """Zero all counters (after warmup, before measurement)."""
+        for cache in (self.icache, self.dcache, self.l2):
+            cache.reset_stats()
+        for index in range(len(self.stats)):
+            self.stats[index] = MemStats()
+
+    # --- introspection ---------------------------------------------------------
+
+    def total_stats(self) -> MemStats:
+        """Aggregate statistics across threads."""
+        total = MemStats()
+        for stat in self.stats:
+            for field in dataclasses.fields(MemStats):
+                setattr(total, field.name,
+                        getattr(total, field.name) + getattr(stat, field.name))
+        return total
+
+    def outstanding_memory_fills(self, now: int) -> int:
+        """Fills currently in flight from main memory (MLP snapshot)."""
+        return self.mshr.outstanding_memory_fills(now)

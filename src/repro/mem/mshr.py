@@ -1,0 +1,74 @@
+"""Miss Status Holding Registers.
+
+MSHRs track in-flight cache fills.  They serve two purposes in this model:
+
+1. **Timing of pending lines.**  Cache arrays are filled eagerly at miss
+   time (a standard trace-simulator simplification), so the MSHR file is
+   what makes a just-missed line *still cost* its full latency: any access
+   to a line with an outstanding fill completes no earlier than the fill.
+2. **Miss merging (MLP).**  Concurrent misses to one line collapse into a
+   single fill — the mechanism by which runahead prefetches overlap many
+   memory accesses instead of serializing them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+
+class MSHRFile:
+    """Outstanding-fill tracker with bounded capacity."""
+
+    __slots__ = ("capacity", "_entries", "allocations", "merges", "rejects")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("MSHR capacity must be >= 1")
+        self.capacity = capacity
+        #: line_addr -> (ready_cycle, fill_is_from_memory)
+        self._entries: Dict[int, Tuple[int, bool]] = {}
+        self.allocations = 0
+        self.merges = 0
+        self.rejects = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def expire(self, now: int) -> None:
+        """Drop entries whose fill has completed."""
+        if not self._entries:
+            return
+        done = [line for line, (ready, _) in self._entries.items()
+                if ready <= now]
+        for line in done:
+            del self._entries[line]
+
+    def pending(self, line_addr: int, now: int) -> Optional[Tuple[int, bool]]:
+        """If a fill for ``line_addr`` is outstanding, return
+        (ready_cycle, from_memory); else None."""
+        entry = self._entries.get(line_addr)
+        if entry is None:
+            return None
+        ready, from_memory = entry
+        if ready <= now:
+            del self._entries[line_addr]
+            return None
+        self.merges += 1
+        return entry
+
+    def allocate(self, line_addr: int, ready_cycle: int,
+                 from_memory: bool, now: int) -> bool:
+        """Reserve an entry for a new fill; False if the file is full."""
+        self.expire(now)
+        if len(self._entries) >= self.capacity:
+            self.rejects += 1
+            return False
+        self.allocations += 1
+        self._entries[line_addr] = (ready_cycle, from_memory)
+        return True
+
+    def outstanding_memory_fills(self, now: int) -> int:
+        """Number of fills currently being served by main memory."""
+        self.expire(now)
+        return sum(1 for ready, from_memory in self._entries.values()
+                   if from_memory and ready > now)

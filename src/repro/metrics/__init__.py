@@ -1,0 +1,20 @@
+"""Evaluation metrics used in the paper (§5).
+
+* Throughput — equation (1): the average of per-thread IPCs.
+* Fairness — equation (2), from Luo et al. [9]: the harmonic mean of each
+  thread's multithreaded-vs-single-thread IPC speedup.
+* ED² — §5.3's efficiency proxy: executed instructions × CPI².
+"""
+
+from .ipc import throughput, weighted_speedup
+from .fairness import fairness, hmean_speedup
+from .energy import ed2, normalized_ed2
+
+__all__ = [
+    "throughput",
+    "weighted_speedup",
+    "fairness",
+    "hmean_speedup",
+    "ed2",
+    "normalized_ed2",
+]

@@ -1,0 +1,30 @@
+"""Energy-efficiency proxy (§5.3).
+
+The paper approximates energy by the number of *executed* instructions
+(committed, squashed, and runahead-speculative alike, all assumed to cost
+the same) and delay by the machine-wide CPI, giving
+
+    ED² = N_executed · CPI²
+
+presented normalized to the ICOUNT baseline (lower is better).
+"""
+
+from __future__ import annotations
+
+
+def ed2(executed_instructions: int, cpi: float) -> float:
+    """Energy-Delay² for one run."""
+    if executed_instructions < 0:
+        raise ValueError("executed_instructions must be >= 0")
+    if cpi <= 0:
+        raise ValueError("cpi must be positive")
+    return executed_instructions * cpi * cpi
+
+
+def normalized_ed2(executed: int, cpi: float,
+                   baseline_executed: int, baseline_cpi: float) -> float:
+    """ED² relative to a baseline run (ICOUNT in the paper's Figure 3)."""
+    baseline = ed2(baseline_executed, baseline_cpi)
+    if baseline == 0:
+        raise ValueError("baseline ED^2 is zero")
+    return ed2(executed, cpi) / baseline

@@ -1,0 +1,29 @@
+"""Fairness metric (Luo, Gummaraju & Franklin, ISPASS 2001 [9])."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def hmean_speedup(mt_ipcs: Sequence[float],
+                  st_ipcs: Sequence[float]) -> float:
+    """Equation (2): harmonic mean of per-thread IPC speedups.
+
+    ``n / sum_i(IPC_ST,i / IPC_MT,i)``.  The harmonic mean punishes
+    workloads where one thread is sacrificed for another, so it balances
+    fairness against raw performance.
+    """
+    if len(mt_ipcs) != len(st_ipcs) or not mt_ipcs:
+        raise ValueError("need matching non-empty IPC vectors")
+    denominator = 0.0
+    for mt, st in zip(mt_ipcs, st_ipcs):
+        if st <= 0:
+            raise ValueError("single-thread IPC must be positive")
+        if mt <= 0:
+            return 0.0
+        denominator += st / mt
+    return len(mt_ipcs) / denominator
+
+
+#: The paper calls the metric simply "fairness".
+fairness = hmean_speedup

@@ -1,0 +1,30 @@
+"""Throughput metrics."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def throughput(ipcs: Sequence[float]) -> float:
+    """Equation (1): the average of per-thread IPCs.
+
+    (The paper words it as "the average sum of IPC of all running
+    threads"; the formula divides the sum by n.)
+    """
+    if not ipcs:
+        raise ValueError("throughput needs at least one IPC")
+    return sum(ipcs) / len(ipcs)
+
+
+def weighted_speedup(mt_ipcs: Sequence[float],
+                     st_ipcs: Sequence[float]) -> float:
+    """Mean per-thread speedup vs single-thread execution (Snavely &
+    Tullsen's weighted speedup, used as an auxiliary diagnostic)."""
+    if len(mt_ipcs) != len(st_ipcs) or not mt_ipcs:
+        raise ValueError("need matching non-empty IPC vectors")
+    total = 0.0
+    for mt, st in zip(mt_ipcs, st_ipcs):
+        if st <= 0:
+            raise ValueError("single-thread IPC must be positive")
+        total += mt / st
+    return total / len(mt_ipcs)

@@ -1,0 +1,40 @@
+"""Fetch policies and resource-control schedulers.
+
+The paper compares Runahead Threads against two families of prior work:
+
+* **Static fetch policies** — ICOUNT [18] as the baseline priority scheme,
+  plus the long-latency-load handlers STALL and FLUSH [17] built on top of
+  it (§5.1).
+* **Dynamic resource control** — DCRA [1] and learning-based hill climbing
+  [3] (§5.2).
+
+``rat`` (Runahead Threads) is itself exposed as a fetch policy: ICOUNT
+priority plus the runahead mode machinery in the core.  The MLP-aware
+policy of related work [15] is included as an optional comparator.
+"""
+
+from .base import FetchPolicy
+from .round_robin import RoundRobinPolicy
+from .icount import ICountPolicy
+from .stall import StallPolicy
+from .flush import FlushPolicy
+from .rat import RunaheadThreadsPolicy
+from .dcra import DCRAPolicy
+from .hill_climbing import HillClimbingPolicy
+from .mlp import MLPAwarePolicy
+from .registry import POLICY_NAMES, create_policy, policy_names
+
+__all__ = [
+    "FetchPolicy",
+    "RoundRobinPolicy",
+    "ICountPolicy",
+    "StallPolicy",
+    "FlushPolicy",
+    "RunaheadThreadsPolicy",
+    "DCRAPolicy",
+    "HillClimbingPolicy",
+    "MLPAwarePolicy",
+    "POLICY_NAMES",
+    "create_policy",
+    "policy_names",
+]

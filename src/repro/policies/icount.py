@@ -1,0 +1,25 @@
+"""ICOUNT fetch priority (Tullsen et al., ISCA-23 [18]).
+
+Threads with the fewest instructions in the pre-issue stages (fetch queue,
+rename, issue queues) get priority: they are making the best forward
+progress and are least likely to clog shared structures.  This is the
+paper's baseline (§5).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .base import FetchPolicy
+
+
+class ICountPolicy(FetchPolicy):
+    """Priority = ascending count of pre-issue instructions."""
+
+    name = "icount"
+
+    def fetch_order(self, now: int) -> List[int]:
+        threads = self.threads
+        order = sorted(range(len(threads)),
+                       key=lambda tid: (threads[tid].icount, tid))
+        return order

@@ -1,0 +1,21 @@
+"""Runahead Threads as a fetch policy (the paper's proposal, §3).
+
+Fetch priority stays ICOUNT; the difference is entirely in how a
+long-latency load is handled.  Instead of gating (STALL) or squashing
+(FLUSH) the thread, the commit stage — seeing ``uses_runahead`` — converts
+it into a speculative light thread when the missing load reaches the head
+of its window (see :mod:`repro.core.runahead`).  No event hook is needed:
+the mechanism is armed by the flag alone, making it a *memory-aware fetch
+policy that never throttles* its victim thread.
+"""
+
+from __future__ import annotations
+
+from .icount import ICountPolicy
+
+
+class RunaheadThreadsPolicy(ICountPolicy):
+    """ICOUNT + runahead execution on L2-missing loads (RaT)."""
+
+    name = "rat"
+    uses_runahead = True

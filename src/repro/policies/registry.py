@@ -1,0 +1,47 @@
+"""Policy name resolution."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Type
+
+from ..config import SMTConfig
+from ..errors import UnknownPolicyError
+from .base import FetchPolicy
+from .dcra import DCRAPolicy
+from .flush import FlushPolicy
+from .hill_climbing import HillClimbingPolicy
+from .icount import ICountPolicy
+from .mlp import MLPAwarePolicy
+from .rat import RunaheadThreadsPolicy
+from .round_robin import RoundRobinPolicy
+from .stall import StallPolicy
+
+_REGISTRY: Dict[str, Type[FetchPolicy]] = {
+    policy.name: policy
+    for policy in (
+        RoundRobinPolicy,
+        ICountPolicy,
+        StallPolicy,
+        FlushPolicy,
+        RunaheadThreadsPolicy,
+        DCRAPolicy,
+        HillClimbingPolicy,
+        MLPAwarePolicy,
+    )
+}
+
+#: All registered policy names.
+POLICY_NAMES: Tuple[str, ...] = tuple(sorted(_REGISTRY))
+
+
+def policy_names() -> Tuple[str, ...]:
+    return POLICY_NAMES
+
+
+def create_policy(name: str, config: SMTConfig) -> FetchPolicy:
+    """Instantiate a policy by registry name."""
+    try:
+        policy_class = _REGISTRY[name]
+    except KeyError:
+        raise UnknownPolicyError(name) from None
+    return policy_class(config)

@@ -1,0 +1,18 @@
+"""Round-robin fetch (Tullsen et al. [18]'s simplest scheme)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .base import FetchPolicy
+
+
+class RoundRobinPolicy(FetchPolicy):
+    """Rotate fetch priority one position per cycle."""
+
+    name = "round_robin"
+
+    def fetch_order(self, now: int) -> List[int]:
+        n = len(self.threads)
+        start = now % n
+        return [(start + offset) % n for offset in range(n)]

@@ -1,0 +1,27 @@
+"""Measurement layer: FAME methodology, run caching, and sweeps.
+
+Simulation runs are memoized by (workload, policy, configuration, run
+spec), so the experiment drivers for different figures share runs — e.g.
+Figure 3's ED² numbers reuse the very runs Figures 1 and 2 measured,
+exactly as the paper's tables all come from one simulation campaign.
+"""
+
+from .runner import RunSpec, WorkloadRun, build_traces, run_workload, clear_run_cache
+from .baselines import single_thread_ipc
+from .fame import fame_run
+from .results import ClassAggregate, aggregate_by_class
+from .sweep import PolicySweep, sweep_policies
+
+__all__ = [
+    "RunSpec",
+    "WorkloadRun",
+    "build_traces",
+    "run_workload",
+    "clear_run_cache",
+    "single_thread_ipc",
+    "fame_run",
+    "ClassAggregate",
+    "aggregate_by_class",
+    "PolicySweep",
+    "sweep_policies",
+]

@@ -1,0 +1,31 @@
+"""FAME: FAirly Measuring Multithreaded Execution (Vera et al. [19]).
+
+Multithreaded measurements are biased if a fast thread's trace ends while
+a slow co-runner is still mid-flight — either the fast thread's pressure
+disappears (flattering the slow thread) or the measurement window
+over-weights whoever happened to finish.  FAME re-executes every trace
+until all of them are fairly represented in the measurement.
+
+In this simulator threads loop their traces forever (with a per-pass data
+shift so large working sets keep behaving like large working sets, see
+:mod:`repro.core.thread`); :func:`fame_run` stops the measurement once
+every thread has completed at least ``min_passes`` full executions, so
+each thread's IPC is measured under continuous pressure from all its
+co-runners.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.processor import SMTProcessor, SimResult
+
+
+def fame_run(processor: SMTProcessor, min_passes: int = 1,
+             max_cycles: Optional[int] = None) -> SimResult:
+    """Run ``processor`` under the FAME stopping rule.
+
+    Thin, documented alias of :meth:`SMTProcessor.run` — the methodology
+    lives in the processor so every entry point measures the same way.
+    """
+    return processor.run(min_passes=min_passes, max_cycles=max_cycles)

@@ -1,0 +1,73 @@
+"""Aggregation of runs into the per-class averages the figures plot."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from ..config import SMTConfig
+from ..metrics import fairness as fairness_metric
+from ..metrics import throughput as throughput_metric
+from .baselines import single_thread_ipc
+from .runner import RunSpec, WorkloadRun
+
+
+@dataclasses.dataclass
+class ClassAggregate:
+    """Average metrics of one policy over one workload class."""
+
+    klass: str
+    policy: str
+    throughput: float
+    fairness: float
+    executed: float
+    cpi: float
+    ed2: float
+    runs: List[WorkloadRun] = dataclasses.field(repr=False,
+                                                default_factory=list)
+
+
+def run_fairness(run: WorkloadRun, config: Optional[SMTConfig] = None,
+                 spec: Optional[RunSpec] = None) -> float:
+    """Equation (2) for one run, using memoized single-thread references."""
+    st_ipcs = [single_thread_ipc(name, config, spec or run.spec)
+               for name in run.workload.benchmarks]
+    return fairness_metric(run.ipcs, st_ipcs)
+
+
+def aggregate_by_class(runs: Sequence[WorkloadRun],
+                       config: Optional[SMTConfig] = None,
+                       spec: Optional[RunSpec] = None) -> ClassAggregate:
+    """Average one policy's runs (all from one class) into a point."""
+    if not runs:
+        raise ValueError("cannot aggregate zero runs")
+    klass = runs[0].workload.klass
+    policy = runs[0].policy
+    for run in runs:
+        if run.workload.klass != klass or run.policy != policy:
+            raise ValueError("aggregate_by_class needs a homogeneous group")
+    throughputs = [run.throughput for run in runs]
+    fairnesses = [run_fairness(run, config, spec) for run in runs]
+    executed = [float(run.executed) for run in runs]
+    cpis = [run.cpi for run in runs]
+    ed2s = [run.ed2() for run in runs]
+    count = len(runs)
+    return ClassAggregate(
+        klass=klass,
+        policy=policy,
+        throughput=throughput_metric(throughputs),
+        fairness=sum(fairnesses) / count,
+        executed=sum(executed) / count,
+        cpi=sum(cpis) / count,
+        ed2=sum(ed2s) / count,
+        runs=list(runs),
+    )
+
+
+def normalize_to(values: Dict[str, float],
+                 baseline_key: str) -> Dict[str, float]:
+    """Normalize a {policy: value} mapping to one policy's value."""
+    base = values[baseline_key]
+    if base == 0:
+        raise ValueError(f"baseline {baseline_key!r} value is zero")
+    return {key: value / base for key, value in values.items()}

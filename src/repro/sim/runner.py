@@ -1,0 +1,111 @@
+"""Workload execution with run memoization.
+
+The paper's simulation campaign runs every Table 2 workload under every
+policy; many figures then slice the same runs differently.  This module
+provides exactly that: :func:`run_workload` simulates one (workload,
+policy, config) combination under a :class:`RunSpec` and memoizes the
+outcome, so each combination is simulated once per process no matter how
+many figures consume it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Dict, List, Optional, Tuple
+
+from ..config import SMTConfig, baseline
+from ..core.processor import SMTProcessor, SimResult
+from ..trace.generator import generate_trace
+from ..trace.trace import Trace
+from ..trace.workloads import Workload
+
+#: Environment variable selecting longer, higher-fidelity runs.
+FULL_ENV_VAR = "REPRO_FULL"
+
+
+@dataclasses.dataclass(frozen=True)
+class RunSpec:
+    """Measurement parameters (trace scale and FAME settings).
+
+    The defaults are sized for Python-speed experiment sweeps; set the
+    ``REPRO_FULL`` environment variable (see :func:`default_spec`) or pass
+    a custom spec for longer runs.
+    """
+
+    trace_len: int = 3000
+    seed: int = 1
+    min_passes: int = 1
+    max_cycles: int = 2_000_000
+
+
+def default_spec() -> RunSpec:
+    """The default run spec, scaled up when ``REPRO_FULL`` is set."""
+    if os.environ.get(FULL_ENV_VAR):
+        return RunSpec(trace_len=12000, max_cycles=8_000_000)
+    return RunSpec()
+
+
+@dataclasses.dataclass
+class WorkloadRun:
+    """One memoized simulation outcome."""
+
+    workload: Workload
+    policy: str
+    spec: RunSpec
+    result: SimResult
+
+    @property
+    def ipcs(self) -> List[float]:
+        return self.result.ipcs
+
+    @property
+    def throughput(self) -> float:
+        return self.result.throughput
+
+    @property
+    def executed(self) -> int:
+        return self.result.total_executed
+
+    @property
+    def cpi(self) -> float:
+        return self.result.avg_cpi
+
+    def ed2(self) -> float:
+        return self.result.ed2()
+
+
+_RUN_CACHE: Dict[Tuple, WorkloadRun] = {}
+
+
+def clear_run_cache() -> None:
+    """Drop all memoized runs (tests use this for isolation)."""
+    _RUN_CACHE.clear()
+
+
+def build_traces(workload: Workload, spec: RunSpec) -> List[Trace]:
+    """Generate (memoized) traces for each thread of a workload."""
+    return [generate_trace(name, spec.trace_len, spec.seed)
+            for name in workload.benchmarks]
+
+
+def run_workload(workload: Workload, policy: str,
+                 config: Optional[SMTConfig] = None,
+                 spec: Optional[RunSpec] = None) -> WorkloadRun:
+    """Simulate one workload under one policy (memoized)."""
+    if config is None:
+        config = baseline()
+    if spec is None:
+        spec = default_spec()
+    key = (workload.klass, workload.benchmarks, policy, config, spec)
+    cached = _RUN_CACHE.get(key)
+    if cached is not None:
+        return cached
+    traces = build_traces(workload, spec)
+    processor = SMTProcessor(config.with_policy(policy), traces)
+    result = processor.run(min_passes=spec.min_passes,
+                           max_cycles=spec.max_cycles)
+    run = WorkloadRun(workload=workload, policy=policy, spec=spec,
+                      result=result)
+    _RUN_CACHE[key] = run
+    return run

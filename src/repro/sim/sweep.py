@@ -1,0 +1,69 @@
+"""Policy x workload-class sweeps (the shape of every figure)."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import SMTConfig
+from ..trace.workloads import get_workloads
+from .results import ClassAggregate, aggregate_by_class
+from .runner import RunSpec, run_workload
+
+
+@dataclasses.dataclass
+class PolicySweep:
+    """Results of sweeping policies over workload classes.
+
+    ``cells[(policy, klass)]`` holds the per-class aggregate.
+    """
+
+    policies: Tuple[str, ...]
+    classes: Tuple[str, ...]
+    cells: Dict[Tuple[str, str], ClassAggregate]
+
+    def metric(self, policy: str, klass: str, name: str) -> float:
+        return getattr(self.cells[(policy, klass)], name)
+
+    def row(self, policy: str, name: str) -> List[float]:
+        """One policy's metric across all classes, in class order."""
+        return [self.metric(policy, klass, name) for klass in self.classes]
+
+    def average(self, policy: str, name: str) -> float:
+        values = self.row(policy, name)
+        return sum(values) / len(values)
+
+    def relative(self, policy: str, baseline: str,
+                 name: str) -> List[float]:
+        """Per-class ratio of one policy's metric to a baseline policy's."""
+        own = self.row(policy, name)
+        base = self.row(baseline, name)
+        return [value / b if b else float("inf")
+                for value, b in zip(own, base)]
+
+
+def sweep_policies(policies: Sequence[str], classes: Sequence[str],
+                   config: Optional[SMTConfig] = None,
+                   spec: Optional[RunSpec] = None,
+                   workloads_per_class: Optional[int] = None) -> PolicySweep:
+    """Run every policy on every workload of the given classes.
+
+    Args:
+        policies: Policy registry names.
+        classes: Table 2 class names (e.g. ``("ILP2", "MIX2", "MEM2")``).
+        config: Machine configuration (baseline when omitted).
+        spec: Run spec (scaled default when omitted).
+        workloads_per_class: Optional cap on workloads per class, for
+            quick looks; figures use the full Table 2 set.
+    """
+    cells: Dict[Tuple[str, str], ClassAggregate] = {}
+    for klass in classes:
+        workloads = get_workloads(klass)
+        if workloads_per_class is not None:
+            workloads = workloads[:workloads_per_class]
+        for policy in policies:
+            runs = [run_workload(workload, policy, config, spec)
+                    for workload in workloads]
+            cells[(policy, klass)] = aggregate_by_class(runs, config, spec)
+    return PolicySweep(policies=tuple(policies), classes=tuple(classes),
+                       cells=cells)

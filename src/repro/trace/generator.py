@@ -1,0 +1,340 @@
+"""Expand a :class:`BenchmarkProfile` into a dynamic instruction trace.
+
+The generator builds a static code skeleton (a synthetic CFG, so the
+I-cache and branch predictor see a realistic PC stream) and then *walks*
+it, producing a dynamic stream with:
+
+* register dependences drawn from the profile's dependence-distance
+  distribution — address registers of non-chasing memory operations are
+  chained only through ALU results, so streamed loads stay independent of
+  load values (this is what gives runahead its memory-level parallelism);
+* pointer-chasing loads chained through the previous chase load's
+  destination register, serializing them exactly like real linked-list code;
+* memory addresses drawn from the profile's stream/random/chase mixture
+  over its working set.
+
+Determinism: the same (profile, length, seed) triple always yields an
+identical trace.
+"""
+
+from __future__ import annotations
+
+import functools
+import zlib
+from typing import List
+
+import numpy as np
+
+from ..errors import TraceError
+from ..isa import NO_REG, OpClass
+from .address_space import (
+    PointerChaseStream,
+    RandomStream,
+    StreamMixer,
+    StridedStream,
+)
+from .cfg import MIN_BLOCK_LEN, ControlFlowGraph
+from .profiles import BenchmarkProfile, get_profile
+from .trace import Trace
+
+#: Integer registers are split into two pools (r0 is the Alpha zero
+#: register and r31 stays read-only, matching conventional usage):
+#:
+#: * r1..r8 — *address arithmetic* (induction variables, pointer updates).
+#:   Only address-arithmetic ALU ops ever write these, so address chains
+#:   never depend on load results — exactly like real streaming code.
+#:   This is what lets both the out-of-order window and runahead overlap
+#:   independent misses; a load-polluted address chain would serialize
+#:   everything behind the first miss (and fold every later address under
+#:   runahead's INV propagation).
+#: * r9..r30 — *data* registers (load results, data-processing ALU ops).
+_ADDR_DESTS = tuple(range(1, 9))
+_DATA_DESTS = tuple(range(9, 31))
+#: FP destination registers (arch numbers 32..63 are the FP file).
+_FP_DESTS = tuple(range(33, 63))
+
+#: Fraction of integer ALU ops doing address arithmetic.
+_ADDR_ALU_SHARE = 0.4
+
+#: Fraction of loads/stores in FP-suite code that move FP data.
+_FP_MEM_SHARE = 0.7
+
+#: Recent-writer window per register class for dependence sampling.
+_WRITER_WINDOW = 64
+
+
+class _WriterRing:
+    """Recent destination registers of one class, for dependence sampling."""
+
+    __slots__ = ("_regs", "_size")
+
+    def __init__(self, size: int = _WRITER_WINDOW) -> None:
+        self._regs: List[int] = []
+        self._size = size
+
+    def push(self, reg: int) -> None:
+        self._regs.append(reg)
+        if len(self._regs) > self._size:
+            del self._regs[0]
+
+    def sample(self, rng: np.random.Generator, mean_distance: float) -> int:
+        """A register written ~geometric(mean_distance) writes ago."""
+        if not self._regs:
+            return NO_REG
+        distance = int(rng.geometric(1.0 / max(1.0, mean_distance)))
+        distance = min(distance, len(self._regs))
+        return self._regs[-distance]
+
+    def __len__(self) -> int:
+        return len(self._regs)
+
+
+class TraceGenerator:
+    """Generates the dynamic trace for one benchmark profile."""
+
+    def __init__(self, profile: BenchmarkProfile, length: int,
+                 seed: int = 0) -> None:
+        if length < 1:
+            raise TraceError("trace length must be >= 1")
+        self.profile = profile
+        self.length = length
+        name_hash = zlib.crc32(profile.name.encode("utf-8"))
+        self._rng = np.random.default_rng([seed & 0x7FFFFFFF, length,
+                                           name_hash])
+
+    # --- static code construction -------------------------------------------
+
+    def _block_length_mean(self) -> int:
+        """Mean basic-block length implied by the branch fraction."""
+        fraction = self.profile.branch_fraction
+        if fraction <= 0:
+            return max(MIN_BLOCK_LEN, self.profile.mean_block_len)
+        return max(MIN_BLOCK_LEN, min(48, int(round(1.0 / fraction))))
+
+    def _op_thresholds(self) -> List[float]:
+        """Cumulative draw thresholds for straight-line (non-branch) slots.
+
+        Branches are supplied by block terminators, so the remaining mix
+        fractions scale up by 1 / (1 - branch_fraction).
+        """
+        p = self.profile
+        scale = 1.0 / max(1e-9, 1.0 - p.branch_fraction)
+        load_p = p.load_fraction * scale
+        store_p = p.store_fraction * scale
+        fp_p = p.fp_fraction * scale
+        imul_p = p.imul_fraction * scale
+        sync_p = p.sync_fraction * scale
+        return [load_p,
+                load_p + store_p,
+                load_p + store_p + fp_p,
+                load_p + store_p + fp_p + imul_p,
+                load_p + store_p + fp_p + imul_p + sync_p]
+
+    def _draw_op(self, thresholds: List[float]) -> OpClass:
+        """Draw one straight-line op class from the profile mix.
+
+        Ops are drawn per dynamic visit (not statically per code slot) so
+        the dynamic mix converges to the profile regardless of which basic
+        blocks happen to be hot.
+        """
+        p = self.profile
+        rng = self._rng
+        draw = rng.random()
+        if draw < thresholds[0]:
+            if p.is_fp and rng.random() < _FP_MEM_SHARE:
+                return OpClass.FLOAD
+            return OpClass.LOAD
+        if draw < thresholds[1]:
+            if p.is_fp and rng.random() < _FP_MEM_SHARE:
+                return OpClass.FSTORE
+            return OpClass.STORE
+        if draw < thresholds[2]:
+            fp_draw = rng.random()
+            if fp_draw < p.fdiv_fraction:
+                return OpClass.FDIV
+            if fp_draw < 0.5:
+                return OpClass.FMUL
+            return OpClass.FADD
+        if draw < thresholds[3]:
+            return OpClass.IMUL
+        if draw < thresholds[4]:
+            return OpClass.SYNC
+        return OpClass.IALU
+
+    def _build_streams(self) -> StreamMixer:
+        p = self.profile
+        region = p.working_set_bytes
+        # Bound the hot set so one trace pass re-touches each hot line
+        # roughly 8 times: short traces then establish residency the way a
+        # full-length run would (see _HotColdRegion).
+        mem_accesses = self.length * (p.load_fraction + p.store_fraction)
+        hot_cap = 64 * max(16, int(mem_accesses * p.hot_prob / 8))
+        streams = []
+        weights = []
+        if p.stream_weight > 0:
+            per_stream = max(4096, region // max(1, p.num_streams))
+            for index in range(p.num_streams):
+                base = (index * per_stream) % max(1, region)
+                streams.append(StridedStream(
+                    self._rng, base, min(per_stream, region),
+                    p.stride_bytes))
+                weights.append(p.stream_weight / p.num_streams)
+        if p.random_weight > 0:
+            streams.append(RandomStream(self._rng, 0, region,
+                                        hot_fraction=p.hot_fraction,
+                                        hot_prob=p.hot_prob,
+                                        hot_bytes_cap=hot_cap))
+            weights.append(p.random_weight)
+        if p.chase_weight > 0:
+            streams.append(PointerChaseStream(self._rng, 0, region,
+                                              hot_fraction=p.hot_fraction,
+                                              hot_prob=p.hot_prob,
+                                              hot_bytes_cap=hot_cap))
+            weights.append(p.chase_weight)
+        return StreamMixer(self._rng, streams, weights)
+
+    # --- dynamic walk ------------------------------------------------------------
+
+    def generate(self) -> Trace:
+        """Produce the trace (deterministic for this generator's seed)."""
+        p = self.profile
+        rng = self._rng
+        cfg = ControlFlowGraph(
+            rng, num_blocks=p.code_blocks,
+            mean_block_len=self._block_length_mean(),
+            loop_bias=p.loop_bias, far_jump_prob=p.far_jump_prob,
+            bias_concentration=p.branch_bias_concentration)
+        thresholds = self._op_thresholds()
+        mixer = self._build_streams()
+
+        n = self.length
+        op_col = np.empty(n, dtype=np.int8)
+        dest_col = np.full(n, NO_REG, dtype=np.int16)
+        src1_col = np.full(n, NO_REG, dtype=np.int16)
+        src2_col = np.full(n, NO_REG, dtype=np.int16)
+        addr_col = np.zeros(n, dtype=np.int64)
+        taken_col = np.zeros(n, dtype=np.bool_)
+        pc_col = np.zeros(n, dtype=np.int64)
+
+        int_writers = _WriterRing(size=20)   # data-pool writers
+        alu_writers = _WriterRing(size=8)    # address-pool writers
+        fp_writers = _WriterRing(size=24)    # all FP writers (incl. loads)
+        # FP compute results chain mostly through each other: numeric
+        # kernels are recurrences over computed values, with loads feeding
+        # the chain only here and there.  Without this, every FP chain is
+        # a couple of ops deep (cut by a 3-cycle load) and FP benchmarks
+        # become fetch-bound at unrealistic IPCs.
+        fp_compute_writers = _WriterRing(size=12)
+        # Independent pointer-chase chains: each chain serializes through
+        # its own register, and chains interleave round-robin — bounding
+        # chasing code's MLP at profile.chase_chains, like real programs
+        # traversing several linked structures at once.
+        chase_regs = [NO_REG] * max(1, p.chase_chains)
+        chase_cursor = 0
+
+        int_dest_cursor = 0
+        addr_dest_cursor = 0
+        fp_dest_cursor = 0
+        block = cfg.blocks[0]
+        slot = 0
+        index = 0
+        while index < n:
+            pc_col[index] = block.slot_pc(slot)
+            if slot == block.length - 1:
+                # Terminating branch: direction from the block bias walk.
+                taken, next_block = cfg.walk(rng, block)
+                op_col[index] = int(OpClass.BRANCH)
+                src1_col[index] = int_writers.sample(rng, p.dep_distance)
+                taken_col[index] = taken
+                block = next_block
+                slot = 0
+                index += 1
+                continue
+
+            op = self._draw_op(thresholds)
+            op_col[index] = int(op)
+            if op in (OpClass.LOAD, OpClass.FLOAD):
+                stream = mixer.pick()
+                use_chase = stream.dependent and op is OpClass.LOAD
+                if use_chase and chase_regs[chase_cursor] != NO_REG:
+                    src1_col[index] = chase_regs[chase_cursor]
+                else:
+                    src1_col[index] = alu_writers.sample(rng, p.dep_distance)
+                addr_col[index] = stream.next_address()
+                if op is OpClass.LOAD:
+                    dest = _DATA_DESTS[int_dest_cursor]
+                    int_dest_cursor = (int_dest_cursor + 1) % len(_DATA_DESTS)
+                    dest_col[index] = dest
+                    int_writers.push(dest)
+                    if use_chase:
+                        chase_regs[chase_cursor] = dest
+                        chase_cursor = (chase_cursor + 1) % len(chase_regs)
+                else:
+                    dest = _FP_DESTS[fp_dest_cursor]
+                    fp_dest_cursor = (fp_dest_cursor + 1) % len(_FP_DESTS)
+                    dest_col[index] = dest
+                    fp_writers.push(dest)
+            elif op in (OpClass.STORE, OpClass.FSTORE):
+                stream = mixer.pick()
+                src1_col[index] = alu_writers.sample(rng, p.dep_distance)
+                if op is OpClass.STORE:
+                    src2_col[index] = int_writers.sample(rng, p.dep_distance)
+                else:
+                    src2_col[index] = fp_writers.sample(rng, p.dep_distance)
+                addr_col[index] = stream.next_address()
+            elif op in (OpClass.FADD, OpClass.FMUL, OpClass.FDIV):
+                if len(fp_compute_writers) and rng.random() < 0.75:
+                    src1_col[index] = fp_compute_writers.sample(
+                        rng, p.dep_distance)
+                else:
+                    src1_col[index] = fp_writers.sample(rng, p.dep_distance)
+                if rng.random() < 0.6:
+                    src2_col[index] = fp_writers.sample(rng, p.dep_distance)
+                dest = _FP_DESTS[fp_dest_cursor]
+                fp_dest_cursor = (fp_dest_cursor + 1) % len(_FP_DESTS)
+                dest_col[index] = dest
+                fp_writers.push(dest)
+                fp_compute_writers.push(dest)
+            elif op is OpClass.SYNC:
+                src1_col[index] = int_writers.sample(rng, p.dep_distance)
+            else:  # IALU / IMUL / NOP
+                if rng.random() < _ADDR_ALU_SHARE:
+                    # Address arithmetic: sources and destination stay in
+                    # the load-free address pool.
+                    src1_col[index] = alu_writers.sample(rng, p.dep_distance)
+                    if rng.random() < 0.5:
+                        src2_col[index] = alu_writers.sample(rng,
+                                                             p.dep_distance)
+                    dest = _ADDR_DESTS[addr_dest_cursor]
+                    addr_dest_cursor = (addr_dest_cursor + 1) % len(_ADDR_DESTS)
+                    dest_col[index] = dest
+                    alu_writers.push(dest)
+                else:
+                    # Data processing: may consume load results.
+                    src1_col[index] = int_writers.sample(rng, p.dep_distance)
+                    if rng.random() < 0.5:
+                        src2_col[index] = int_writers.sample(rng,
+                                                             p.dep_distance)
+                    dest = _DATA_DESTS[int_dest_cursor]
+                    int_dest_cursor = (int_dest_cursor + 1) % len(_DATA_DESTS)
+                    dest_col[index] = dest
+                    int_writers.push(dest)
+            slot += 1
+            index += 1
+
+        trace = Trace(p.name, {
+            "op": op_col, "dest": dest_col, "src1": src1_col,
+            "src2": src2_col, "addr": addr_col, "taken": taken_col,
+            "pc": pc_col,
+        }, data_region_bytes=p.working_set_bytes)
+        return trace.validate()
+
+
+@functools.lru_cache(maxsize=512)
+def generate_trace(name: str, length: int, seed: int = 0) -> Trace:
+    """Generate (and memoize) the trace for benchmark ``name``.
+
+    The cache makes repeated experiment sweeps cheap: every policy run of a
+    given workload shares identical trace objects.
+    """
+    return TraceGenerator(get_profile(name), length, seed).generate()

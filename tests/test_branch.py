@@ -1,0 +1,94 @@
+"""Tests for the perceptron predictor and BTB."""
+
+import pytest
+
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.perceptron import PerceptronPredictor
+
+
+class TestPerceptron:
+    def test_learns_always_taken(self):
+        predictor = PerceptronPredictor(64, 8, 1)
+        for _ in range(50):
+            predictor.predict(0, 0x400, True)
+        assert predictor.predict(0, 0x400, True)
+
+    def test_learns_always_not_taken(self):
+        predictor = PerceptronPredictor(64, 8, 1)
+        for _ in range(50):
+            predictor.predict(0, 0x400, False)
+        assert predictor.predict(0, 0x400, False)
+
+    def test_learns_alternating_pattern(self):
+        # A strict alternation is linearly separable on global history.
+        predictor = PerceptronPredictor(128, 12, 1)
+        outcomes = [bool(index % 2) for index in range(400)]
+        for taken in outcomes[:300]:
+            predictor.predict(0, 0x800, taken)
+        correct = sum(predictor.predict(0, 0x800, taken)
+                      for taken in outcomes[300:])
+        assert correct >= 95
+
+    def test_accuracy_counter(self):
+        predictor = PerceptronPredictor(64, 8, 1)
+        for _ in range(100):
+            predictor.predict(0, 0x400, True)
+        assert 0.0 <= predictor.accuracy <= 1.0
+        assert predictor.predictions == 100
+
+    def test_per_thread_history_isolated(self):
+        predictor = PerceptronPredictor(64, 8, 2)
+        for _ in range(60):
+            predictor.predict(0, 0x400, True)
+            predictor.predict(1, 0x404, False)
+        assert predictor.predict(0, 0x400, True)
+        assert predictor.predict(1, 0x404, False)
+
+    def test_theta_formula(self):
+        predictor = PerceptronPredictor(64, 24, 1)
+        assert predictor.theta == int(1.93 * 24 + 14)
+
+    def test_reset_history(self):
+        predictor = PerceptronPredictor(64, 8, 1)
+        predictor.predict(0, 0x400, True)
+        predictor.reset_history(0)
+        assert all(bit == -1 for bit in predictor._histories[0])
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            PerceptronPredictor(0, 8, 1)
+
+    def test_empty_predictor_full_accuracy(self):
+        assert PerceptronPredictor(16, 4, 1).accuracy == 1.0
+
+
+class TestBTB:
+    def test_miss_then_hit(self):
+        btb = BranchTargetBuffer(8)
+        assert not btb.lookup_and_insert(0x100)
+        assert btb.lookup_and_insert(0x100)
+
+    def test_lru_eviction(self):
+        btb = BranchTargetBuffer(2)
+        btb.lookup_and_insert(0x100)
+        btb.lookup_and_insert(0x200)
+        btb.lookup_and_insert(0x100)   # refresh 0x100
+        btb.lookup_and_insert(0x300)   # evicts 0x200
+        assert btb.lookup_and_insert(0x100)
+        assert not btb.lookup_and_insert(0x200)
+
+    def test_capacity_bounded(self):
+        btb = BranchTargetBuffer(4)
+        for pc in range(0, 400, 4):
+            btb.lookup_and_insert(pc)
+        assert len(btb) <= 4
+
+    def test_hit_rate(self):
+        btb = BranchTargetBuffer(4)
+        btb.lookup_and_insert(0x10)
+        btb.lookup_and_insert(0x10)
+        assert btb.hit_rate == pytest.approx(0.5)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(0)

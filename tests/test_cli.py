@@ -1,0 +1,47 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main, make_spec
+from repro.sim.runner import RunSpec
+
+
+class TestParser:
+    def test_accepts_exhibits(self):
+        parser = build_parser()
+        args = parser.parse_args(["figure1"])
+        assert args.exhibit == "figure1"
+
+    def test_rejects_unknown_exhibit(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure9"])
+
+    def test_options(self):
+        args = build_parser().parse_args(
+            ["figure6", "--trace-len", "500", "--seed", "9",
+             "--workloads-per-class", "2", "--classes", "MEM2", "MEM4"])
+        assert args.trace_len == 500
+        assert args.seed == 9
+        assert args.workloads_per_class == 2
+        assert args.classes == ["MEM2", "MEM4"]
+
+    def test_make_spec_overrides(self):
+        args = build_parser().parse_args(["table1", "--trace-len", "123"])
+        spec = make_spec(args)
+        assert isinstance(spec, RunSpec)
+        assert spec.trace_len == 123
+
+
+class TestMain:
+    def test_table1_prints(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Perceptron" in out
+
+    def test_figure1_tiny(self, capsys):
+        code = main(["figure1", "--trace-len", "300",
+                     "--workloads-per-class", "1", "--classes", "ILP2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out and "regenerated" in out

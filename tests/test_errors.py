@@ -1,0 +1,47 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    ConfigError,
+    DeadlockError,
+    ReproError,
+    SimulationError,
+    TraceError,
+    UnknownBenchmarkError,
+    UnknownPolicyError,
+    UnknownWorkloadError,
+)
+
+
+def test_all_errors_derive_from_repro_error():
+    for error_class in (ConfigError, TraceError, SimulationError,
+                        DeadlockError, UnknownBenchmarkError,
+                        UnknownPolicyError, UnknownWorkloadError):
+        assert issubclass(error_class, ReproError)
+
+
+def test_deadlock_is_simulation_error():
+    assert issubclass(DeadlockError, SimulationError)
+
+
+def test_unknown_benchmark_message_and_name():
+    error = UnknownBenchmarkError("nosuch")
+    assert error.name == "nosuch"
+    assert "nosuch" in str(error)
+
+
+def test_unknown_policy_name():
+    error = UnknownPolicyError("bogus")
+    assert error.name == "bogus"
+
+
+def test_deadlock_carries_cycle():
+    error = DeadlockError(1234, "stuck")
+    assert error.cycle == 1234
+    assert "1234" in str(error) and "stuck" in str(error)
+
+
+def test_unknown_workload():
+    with pytest.raises(ReproError):
+        raise UnknownWorkloadError("MEM9")

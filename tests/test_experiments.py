@@ -1,0 +1,139 @@
+"""Tests for the experiment drivers (tiny scale) and report rendering."""
+
+import pytest
+
+from repro.experiments import (
+    figure1,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    table1,
+    table2,
+)
+from repro.experiments.figure6 import effective_size
+from repro.experiments.report import ascii_table, bar_chart
+from repro.sim.runner import RunSpec, clear_run_cache
+
+TINY = RunSpec(trace_len=400, seed=2, max_cycles=300_000)
+#: Behavioural assertions about runahead need episodes to matter.
+MID = RunSpec(trace_len=1500, seed=2, max_cycles=1_000_000)
+
+
+@pytest.fixture(autouse=True)
+def _fresh():
+    clear_run_cache()
+    yield
+    clear_run_cache()
+
+
+class TestReportRendering:
+    def test_ascii_table_alignment(self):
+        text = ascii_table(("Name", "Value"),
+                           [["row", 1.23456], ["longer-row", 2.0]],
+                           title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "1.235" in text and "longer-row" in text
+
+    def test_bar_chart_scales(self):
+        text = bar_chart({"g": {"a": 1.0, "b": 0.5}}, title="bars",
+                         width=10)
+        assert text.splitlines()[0] == "bars"
+        assert "#" * 10 in text and "#" * 5 in text
+
+    def test_bar_chart_empty(self):
+        assert bar_chart({}, title="nothing") == "nothing"
+
+
+class TestTable1:
+    def test_renders_all_rows(self):
+        result = table1()
+        text = result.render()
+        assert "512 shared entries" in text
+        assert "Perceptron" in text
+        assert "400 cycles" in text
+
+
+class TestTable2:
+    def test_classification_separates_groups(self):
+        result = table2(spec=TINY)
+        mpki = result.data["mpki"]
+        from repro.trace.profiles import ilp_benchmarks, mem_benchmarks
+        worst_ilp = max(mpki[name] for name in ilp_benchmarks())
+        best_mem = min(mpki[name] for name in mem_benchmarks())
+        assert best_mem > worst_ilp
+
+    def test_lists_all_54_workloads(self):
+        result = table2(spec=TINY)
+        assert len(result.data["workloads"]) == 54
+
+
+class TestFigure1:
+    def test_structure_and_relatives(self):
+        result = figure1(spec=TINY, classes=("MEM2",),
+                         workloads_per_class=2)
+        text = result.render()
+        assert "Throughput" in text and "Fairness" in text
+        sweep = result.data["sweep"]
+        rat_rel = sweep.relative("rat", "icount", "throughput")[0]
+        assert rat_rel == pytest.approx(
+            sweep.metric("rat", "MEM2", "throughput")
+            / sweep.metric("icount", "MEM2", "throughput"))
+        # Every policy ran every requested workload.
+        for policy in result.data["policies"]:
+            assert len(sweep.cells[(policy, "MEM2")].runs) == 2
+
+
+class TestFigure3:
+    def test_normalized_to_icount(self):
+        result = figure3(spec=TINY, classes=("MEM2",),
+                         workloads_per_class=1)
+        normalized = result.data["normalized"]
+        assert set(normalized) == {"stall", "flush", "dcra", "hill", "rat"}
+        for values in normalized.values():
+            assert values["MEM2"] > 0
+
+
+class TestFigure4:
+    def test_three_sources_reported(self):
+        result = figure4(spec=TINY, classes=("MEM2",),
+                         workloads_per_class=1)
+        sources = result.data["per_class"]["MEM2"]
+        assert hasattr(sources, "prefetching")
+        assert hasattr(sources, "resource_availability")
+        assert hasattr(sources, "overhead")
+
+    def test_prefetching_positive_on_mem(self):
+        result = figure4(spec=MID, classes=("MEM2",),
+                         workloads_per_class=2)
+        assert result.data["per_class"]["MEM2"].prefetching > 0
+
+
+class TestFigure5:
+    def test_runahead_mode_lighter(self):
+        result = figure5(spec=MID, classes=("MEM2",),
+                         workloads_per_class=2)
+        normal, runahead = result.data["usage"]["MEM2"]
+        assert runahead < normal
+
+
+class TestFigure6:
+    def test_effective_size_clamps(self):
+        assert effective_size(64, 2) == 80
+        assert effective_size(64, 4) == 144
+        assert effective_size(128, 4) == 144
+        assert effective_size(320, 4) == 320
+
+    def test_series_shape(self):
+        result = figure6(spec=TINY, classes=("MEM2",),
+                         workloads_per_class=1)
+        series = result.data["series"]
+        assert ("MEM2", "rat") in series and ("MEM2", "flush") in series
+        assert len(series[("MEM2", "rat")]) == 5
+
+    def test_throughput_grows_with_registers(self):
+        result = figure6(spec=TINY, classes=("MEM2",),
+                         workloads_per_class=1)
+        series = result.data["series"][("MEM2", "flush")]
+        assert series[-1] >= series[0] * 0.8  # no catastrophic inversion

@@ -1,0 +1,136 @@
+"""End-to-end integration tests: the paper's headline shapes at small scale.
+
+These use the real synthetic benchmarks and the full machine (Table 1
+baseline), scaled down only in trace length.
+"""
+
+import pytest
+
+from repro import SMTConfig, SMTProcessor, generate_trace
+from repro.sim.runner import RunSpec, clear_run_cache, run_workload
+from repro.trace.workloads import Workload
+
+SPEC = RunSpec(trace_len=2000, seed=3, max_cycles=2_000_000)
+
+
+def _run(benches, policy, **overrides):
+    config = SMTConfig(policy=policy, **overrides).validate()
+    traces = [generate_trace(b, SPEC.trace_len, SPEC.seed) for b in benches]
+    cpu = SMTProcessor(config, traces)
+    result = cpu.run(max_cycles=SPEC.max_cycles)
+    cpu.pipeline.check_invariants()
+    return result
+
+
+@pytest.fixture(autouse=True)
+def _fresh():
+    clear_run_cache()
+    yield
+
+
+class TestHeadlineResults:
+    def test_rat_beats_static_policies_on_mem2(self):
+        """Paper Figure 1a: RaT clearly ahead on memory-bound workloads."""
+        benches = ("swim", "mcf")
+        rat = _run(benches, "rat").throughput
+        for other in ("icount", "stall", "flush"):
+            assert rat > _run(benches, other).throughput * 1.1
+
+    def test_rat_beats_dynamic_policies_on_mem2(self):
+        """Paper Figure 2a."""
+        benches = ("swim", "mcf")
+        rat = _run(benches, "rat").throughput
+        for other in ("dcra", "hill"):
+            assert rat > _run(benches, other).throughput * 1.1
+
+    def test_rat_runs_ahead_on_mem_workloads(self):
+        result = _run(("art", "mcf"), "rat")
+        episodes = sum(s.runahead_episodes for s in result.thread_stats)
+        assert episodes > 10
+
+    def test_ilp_workloads_unaffected_by_rat(self):
+        """Runahead never triggers without L2 misses, so ILP pairs behave
+        identically under ICOUNT and RaT."""
+        benches = ("gzip", "eon")
+        icount = _run(benches, "icount")
+        rat = _run(benches, "rat")
+        assert rat.throughput == pytest.approx(icount.throughput, rel=0.02)
+        assert sum(s.runahead_episodes for s in rat.thread_stats) <= 2
+
+    def test_rat_improves_mem_thread_in_mix(self):
+        """The memory-bound thread gains from runahead prefetching even
+        next to an ILP thread (paper §5.1 fairness discussion)."""
+        benches = ("swim", "crafty")
+        stall = _run(benches, "stall")
+        rat = _run(benches, "rat")
+        assert rat.ipcs[0] > stall.ipcs[0] * 1.3
+
+    def test_rat_executes_extra_instructions(self):
+        """Speculative work shows up in the energy proxy (paper §5.3)."""
+        benches = ("swim", "mcf")
+        rat = _run(benches, "rat")
+        icount = _run(benches, "icount")
+        assert rat.total_executed > icount.total_executed
+
+    def test_rat_ed2_still_better_on_mem(self):
+        """Despite extra instructions, RaT's ED^2 beats ICOUNT on MEM
+        workloads (paper Figure 3)."""
+        benches = ("swim", "mcf")
+        rat = _run(benches, "rat")
+        icount = _run(benches, "icount")
+        assert rat.ed2() < icount.ed2()
+
+    def test_runahead_mode_uses_fewer_registers(self):
+        """Paper Figure 5: runahead-mode register occupancy is lower."""
+        result = _run(("swim", "art"), "rat")
+        for stats in result.thread_stats:
+            if stats.runahead_reg_samples > 100:
+                assert stats.avg_regs_runahead() < stats.avg_regs_normal()
+
+    def test_rat_less_sensitive_to_small_register_file(self):
+        """Paper Figure 6: shrinking registers hurts RaT less than FLUSH."""
+        benches = ("swim", "mcf")
+        flush_big = _run(benches, "flush").throughput
+        flush_small = _run(benches, "flush",
+                           int_regs=96, fp_regs=96).throughput
+        rat_big = _run(benches, "rat").throughput
+        rat_small = _run(benches, "rat", int_regs=96, fp_regs=96).throughput
+        flush_loss = 1.0 - flush_small / flush_big
+        rat_loss = 1.0 - rat_small / rat_big
+        assert rat_loss < flush_loss + 0.10
+
+    def test_rat_small_file_beats_flush_large_file(self):
+        """Paper §6.2: RaT at 128 registers >= FLUSH at 320."""
+        benches = ("swim", "mcf")
+        rat_small = _run(benches, "rat", int_regs=128,
+                         fp_regs=128).throughput
+        flush_full = _run(benches, "flush").throughput
+        assert rat_small > flush_full
+
+
+class TestFameMethodology:
+    def test_all_threads_complete_at_least_one_pass(self):
+        workload = Workload("MEM2", ("art", "mcf"))
+        run = run_workload(workload, "icount", spec=SPEC)
+        assert all(stats.passes >= 1 for stats in run.result.thread_stats)
+
+    def test_fast_thread_keeps_running(self):
+        """FAME: the ILP thread re-executes while the MEM thread finishes
+        its first pass, so it completes several passes."""
+        workload = Workload("MIX2", ("mcf", "eon"))
+        run = run_workload(workload, "icount", spec=SPEC)
+        eon_stats = run.result.thread_stats[1]
+        assert eon_stats.passes >= 2
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        first = _run(("art", "gzip"), "rat")
+        second = _run(("art", "gzip"), "rat")
+        assert first.cycles == second.cycles
+        assert first.ipcs == second.ipcs
+
+    def test_different_policies_differ_on_mem(self):
+        icount = _run(("swim", "mcf"), "icount")
+        rat = _run(("swim", "mcf"), "rat")
+        assert icount.cycles != rat.cycles

@@ -1,0 +1,70 @@
+"""Tests for repro.isa."""
+
+from repro.isa import (
+    FUKind,
+    IssueQueueKind,
+    NUM_ARCH_REGS,
+    OP_FU,
+    OP_LATENCY,
+    OP_QUEUE,
+    OpClass,
+    RegClass,
+    is_fp_op,
+    is_load,
+    is_memory_op,
+    is_store,
+    reg_class,
+)
+
+
+def test_arch_reg_split():
+    assert NUM_ARCH_REGS == 64
+    assert reg_class(0) == RegClass.INT
+    assert reg_class(31) == RegClass.INT
+    assert reg_class(32) == RegClass.FP
+    assert reg_class(63) == RegClass.FP
+
+
+def test_every_op_has_latency_queue_and_fu():
+    for op in OpClass:
+        assert op in OP_LATENCY
+        assert op in OP_QUEUE
+        assert op in OP_FU
+
+
+def test_memory_classification():
+    assert is_memory_op(OpClass.LOAD) and is_memory_op(OpClass.FSTORE)
+    assert not is_memory_op(OpClass.IALU)
+    assert is_load(OpClass.FLOAD) and not is_load(OpClass.STORE)
+    assert is_store(OpClass.STORE) and not is_store(OpClass.LOAD)
+
+
+def test_fp_ops_exclude_fp_memory():
+    # FP loads/stores compute addresses in the integer pipeline (§3.3).
+    assert is_fp_op(OpClass.FADD) and is_fp_op(OpClass.FDIV)
+    assert not is_fp_op(OpClass.FLOAD)
+    assert not is_fp_op(OpClass.FSTORE)
+
+
+def test_memory_ops_use_ls_queue_and_ldst_units():
+    for op in (OpClass.LOAD, OpClass.STORE, OpClass.FLOAD, OpClass.FSTORE):
+        assert OP_QUEUE[op] == IssueQueueKind.LS
+        assert OP_FU[op] == FUKind.LDST
+
+
+def test_fp_compute_uses_fp_queue_and_units():
+    for op in (OpClass.FADD, OpClass.FMUL, OpClass.FDIV):
+        assert OP_QUEUE[op] == IssueQueueKind.FP
+        assert OP_FU[op] == FUKind.FP
+
+
+def test_branch_is_integer_side():
+    assert OP_QUEUE[OpClass.BRANCH] == IssueQueueKind.INT
+    assert OP_FU[OpClass.BRANCH] == FUKind.INT
+
+
+def test_latency_ordering():
+    assert OP_LATENCY[OpClass.IALU] == 1
+    assert OP_LATENCY[OpClass.IMUL] > OP_LATENCY[OpClass.IALU]
+    assert OP_LATENCY[OpClass.FDIV] > OP_LATENCY[OpClass.FMUL]
+    assert OP_LATENCY[OpClass.FMUL] >= OP_LATENCY[OpClass.FADD]

@@ -1,0 +1,78 @@
+"""Tests for the evaluation metrics (paper §5 equations)."""
+
+import pytest
+
+from repro.metrics import ed2, fairness, throughput
+from repro.metrics.energy import normalized_ed2
+from repro.metrics.fairness import hmean_speedup
+from repro.metrics.ipc import weighted_speedup
+
+
+class TestThroughput:
+    def test_equation_1_is_mean(self):
+        assert throughput([2.0, 1.0]) == pytest.approx(1.5)
+
+    def test_single_thread(self):
+        assert throughput([0.7]) == pytest.approx(0.7)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            throughput([])
+
+
+class TestFairness:
+    def test_equation_2_harmonic_mean(self):
+        # Thread speedups 0.5 and 0.5 -> harmonic mean 0.5.
+        assert fairness([1.0, 2.0], [2.0, 4.0]) == pytest.approx(0.5)
+
+    def test_unbalanced_speedups_punished(self):
+        balanced = fairness([1.0, 1.0], [2.0, 2.0])
+        skewed = fairness([1.9, 0.1], [2.0, 2.0])
+        assert skewed < balanced
+
+    def test_perfect_isolation_is_one(self):
+        assert fairness([2.0, 3.0], [2.0, 3.0]) == pytest.approx(1.0)
+
+    def test_zero_mt_ipc_gives_zero(self):
+        assert fairness([0.0, 1.0], [1.0, 1.0]) == 0.0
+
+    def test_rejects_nonpositive_reference(self):
+        with pytest.raises(ValueError):
+            fairness([1.0], [0.0])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            fairness([1.0, 2.0], [1.0])
+
+    def test_alias(self):
+        assert fairness is hmean_speedup
+
+
+class TestWeightedSpeedup:
+    def test_mean_of_ratios(self):
+        assert weighted_speedup([1.0, 1.0], [2.0, 4.0]) == pytest.approx(
+            (0.5 + 0.25) / 2)
+
+    def test_rejects_zero_reference(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([1.0], [0.0])
+
+
+class TestED2:
+    def test_formula(self):
+        assert ed2(1000, 2.0) == pytest.approx(4000.0)
+
+    def test_normalization(self):
+        assert normalized_ed2(1000, 2.0, 1000, 2.0) == pytest.approx(1.0)
+        assert normalized_ed2(500, 2.0, 1000, 2.0) == pytest.approx(0.5)
+
+    def test_quadratic_in_delay(self):
+        assert ed2(100, 4.0) == pytest.approx(4 * ed2(100, 2.0))
+
+    def test_rejects_negative_instructions(self):
+        with pytest.raises(ValueError):
+            ed2(-1, 1.0)
+
+    def test_rejects_nonpositive_cpi(self):
+        with pytest.raises(ValueError):
+            ed2(100, 0.0)

@@ -1,0 +1,169 @@
+"""Tests for the shared ROB, issue queues and FU pools."""
+
+import pytest
+
+from repro.core.dyninst import DynInst, InstState
+from repro.core.fu import FUPool
+from repro.core.issue_queue import IssueQueue
+from repro.core.rob import SharedROB
+from repro.errors import SimulationError
+from repro.isa import FUKind, OpClass
+
+
+def _inst(tid=0, seq=0, op=OpClass.IALU, gseq=None):
+    inst = DynInst(tid, seq, seq, 0, int(op), 0x100 + 4 * seq, 0, 1, -1, -1,
+                   False)
+    inst.gseq = gseq if gseq is not None else seq
+    return inst
+
+
+class TestSharedROB:
+    def test_append_and_head(self):
+        rob = SharedROB(8, 2)
+        first = _inst(tid=0, seq=0)
+        rob.append(first)
+        rob.append(_inst(tid=1, seq=0))
+        assert rob.head(0) is first
+        assert rob.occupancy == 2
+        assert rob.per_thread == [1, 1]
+
+    def test_capacity_shared_across_threads(self):
+        rob = SharedROB(4, 2)
+        for seq in range(3):
+            rob.append(_inst(tid=0, seq=seq))
+        rob.append(_inst(tid=1, seq=0))
+        assert rob.is_full()
+        with pytest.raises(SimulationError):
+            rob.append(_inst(tid=1, seq=1))
+
+    def test_pop_head_in_order(self):
+        rob = SharedROB(8, 1)
+        instrs = [_inst(seq=seq) for seq in range(3)]
+        for inst in instrs:
+            rob.append(inst)
+        assert rob.pop_head(0) is instrs[0]
+        assert rob.pop_head(0) is instrs[1]
+        assert rob.occupancy == 1
+
+    def test_squash_younger_returns_youngest_first(self):
+        rob = SharedROB(8, 1)
+        instrs = [_inst(seq=seq) for seq in range(5)]
+        for inst in instrs:
+            rob.append(inst)
+        squashed = rob.squash_younger(0, boundary_seq=1)
+        assert [inst.seq for inst in squashed] == [4, 3, 2]
+        assert rob.occupancy == 2
+
+    def test_squash_only_affects_one_thread(self):
+        rob = SharedROB(8, 2)
+        rob.append(_inst(tid=0, seq=0))
+        rob.append(_inst(tid=1, seq=0))
+        rob.squash_all(0)
+        assert rob.is_empty(0)
+        assert not rob.is_empty(1)
+
+    def test_thread_window_iterates_oldest_first(self):
+        rob = SharedROB(8, 1)
+        for seq in range(3):
+            rob.append(_inst(seq=seq))
+        assert [i.seq for i in rob.thread_window(0)] == [0, 1, 2]
+
+    def test_check_occupancy(self):
+        rob = SharedROB(8, 2)
+        rob.append(_inst())
+        rob.check_occupancy()
+
+
+class TestIssueQueue:
+    def test_insert_remove_accounting(self):
+        queue = IssueQueue("int", 4, 2)
+        inst = _inst()
+        queue.insert(inst)
+        assert queue.size == 1 and queue.per_thread[0] == 1
+        queue.remove(inst)
+        assert queue.size == 0 and not inst.in_iq
+
+    def test_remove_idempotent(self):
+        queue = IssueQueue("int", 4, 1)
+        inst = _inst()
+        queue.insert(inst)
+        queue.remove(inst)
+        queue.remove(inst)
+        assert queue.size == 0
+
+    def test_overflow_raises(self):
+        queue = IssueQueue("int", 1, 1)
+        queue.insert(_inst(seq=0))
+        with pytest.raises(SimulationError):
+            queue.insert(_inst(seq=1))
+
+    def test_take_ready_oldest_first_across_threads(self):
+        queue = IssueQueue("int", 8, 2)
+        young = _inst(tid=0, seq=5, gseq=10)
+        old = _inst(tid=1, seq=1, gseq=2)
+        for inst in (young, old):
+            inst.state = InstState.READY
+            queue.mark_ready(inst)
+        selected = queue.take_ready(1)
+        assert selected == [old]
+        # The unselected instruction stays ready for the next cycle.
+        assert queue.take_ready(1) == [young]
+
+    def test_take_ready_purges_squashed(self):
+        queue = IssueQueue("int", 8, 1)
+        dead = _inst(seq=0)
+        dead.state = InstState.SQUASHED
+        live = _inst(seq=1)
+        live.state = InstState.READY
+        queue.mark_ready(dead)
+        queue.mark_ready(live)
+        assert queue.take_ready(4) == [live]
+
+    def test_requeue(self):
+        queue = IssueQueue("int", 8, 1)
+        inst = _inst()
+        inst.state = InstState.READY
+        queue.requeue(inst)
+        assert queue.take_ready(1) == [inst]
+
+    def test_ready_count(self):
+        queue = IssueQueue("int", 8, 1)
+        inst = _inst()
+        inst.state = InstState.READY
+        queue.mark_ready(inst)
+        assert queue.ready_count() == 1
+
+
+class TestFUPool:
+    def test_budgets_match_table1(self):
+        pool = FUPool(6, 3, 4)
+        assert pool.capacity(FUKind.INT) == 6
+        assert pool.capacity(FUKind.FP) == 3
+        assert pool.capacity(FUKind.LDST) == 4
+
+    def test_acquire_consumes_budget(self):
+        pool = FUPool(2, 1, 1)
+        assert pool.acquire(int(OpClass.IALU))
+        assert pool.acquire(int(OpClass.IMUL))
+        assert not pool.acquire(int(OpClass.IALU))
+
+    def test_new_cycle_refreshes(self):
+        pool = FUPool(1, 1, 1)
+        pool.acquire(int(OpClass.IALU))
+        pool.new_cycle()
+        assert pool.acquire(int(OpClass.IALU))
+
+    def test_pools_independent(self):
+        pool = FUPool(1, 1, 1)
+        assert pool.acquire(int(OpClass.IALU))
+        assert pool.acquire(int(OpClass.FADD))
+        assert pool.acquire(int(OpClass.LOAD))
+
+    def test_branch_uses_int_units(self):
+        pool = FUPool(1, 1, 1)
+        assert pool.acquire(int(OpClass.BRANCH))
+        assert not pool.acquire(int(OpClass.IALU))
+
+    def test_rejects_empty_pool(self):
+        with pytest.raises(ValueError):
+            FUPool(0, 1, 1)

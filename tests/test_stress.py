@@ -1,0 +1,122 @@
+"""Stress tests: adversarial interleavings with invariants checked live.
+
+These runs combine every squash source at once — runahead entries/exits,
+branch mispredictions inside and outside runahead mode, FP decode drops,
+MSHR pressure, and multi-thread resource contention — and assert the
+structural invariants (register conservation, map validity, ROB
+accounting) continuously.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dyninst import InstState
+from repro.isa import OpClass
+
+from conftest import SMALL_CONFIG, TraceBuilder, make_processor
+
+
+def _chaos_trace(seed: int, length: int = 400) -> "TraceBuilder":
+    """A trace mixing miss-heavy loads, branches and FP chains."""
+    rng = np.random.default_rng(seed)
+    builder = TraceBuilder(name=f"chaos{seed}", data_region=1 << 26)
+    fp_live = False
+    for index in range(length):
+        draw = rng.random()
+        if draw < 0.18:
+            builder.load(9 + int(rng.integers(0, 8)),
+                         int(rng.integers(0, 1 << 22)) & ~0x7)
+        elif draw < 0.24:
+            builder.store(int(rng.integers(0, 1 << 22)) & ~0x7,
+                          src1=1 + int(rng.integers(0, 8)))
+        elif draw < 0.36:
+            builder.branch(taken=bool(rng.random() < 0.4),
+                           src1=9 + int(rng.integers(0, 8)))
+        elif draw < 0.48:
+            if fp_live:
+                builder.fadd(40 + int(rng.integers(0, 8)),
+                             src1=40 + int(rng.integers(0, 8)))
+            else:
+                builder.fload(40 + int(rng.integers(0, 8)),
+                              int(rng.integers(0, 1 << 22)) & ~0x7)
+                fp_live = True
+        else:
+            builder.ialu(1 + int(rng.integers(0, 8)),
+                         src1=1 + int(rng.integers(0, 8)))
+    return builder
+
+
+@pytest.mark.parametrize("policy", ["icount", "stall", "flush", "rat",
+                                    "dcra", "hill", "mlp"])
+def test_chaos_single_thread(policy):
+    trace = _chaos_trace(3).build()
+    cpu = make_processor([trace], policy=policy)
+    for _ in range(60):
+        cpu.step(25)
+        cpu.pipeline.check_invariants()
+        if cpu.pipeline.threads[0].finished_passes:
+            break
+    else:
+        pytest.fail("no pass completed within the step budget")
+
+
+@pytest.mark.parametrize("policy", ["rat", "flush"])
+def test_chaos_two_threads(policy):
+    traces = [_chaos_trace(5).build(), _chaos_trace(7).build()]
+    cpu = make_processor(traces, policy=policy)
+    for _ in range(120):
+        cpu.step(25)
+        cpu.pipeline.check_invariants()
+        if all(t.finished_passes for t in cpu.pipeline.threads):
+            break
+    else:
+        pytest.fail("workload did not finish")
+    for thread in cpu.pipeline.threads:
+        assert thread.stats.committed >= 400
+
+
+def test_chaos_runahead_under_misprediction_pressure():
+    """Mispredicted branches resolving during runahead must not corrupt
+    rename state; every pass must still commit fully."""
+    builder = TraceBuilder(data_region=1 << 26)
+    for index in range(40):
+        builder.load(9 + index % 4, 0x10000 * (index + 1))
+        builder.branch(taken=index % 3 == 0, src1=1 + index % 4)
+        builder.ialu(1 + index % 8, src1=1 + (index + 3) % 8)
+        builder.nops(3)
+    cpu = make_processor([builder.build()], policy="rat")
+    result = cpu.run()
+    cpu.pipeline.check_invariants()
+    assert result.thread_stats[0].committed >= 240
+    assert result.thread_stats[0].runahead_episodes > 0
+
+
+def test_chaos_no_event_leak():
+    """The event table must drain: no unbounded growth of stale events."""
+    traces = [_chaos_trace(11).build()]
+    cpu = make_processor(traces, policy="rat")
+    cpu.run()
+    pending = sum(len(bucket) for bucket in cpu.pipeline._events.values())
+    # Only events scheduled beyond the final cycle may remain.
+    assert pending < 2 * SMALL_CONFIG.memory_latency
+
+
+def test_state_machine_sanity_after_run():
+    """After a finished run, no instruction may linger in a transient
+    state inside the issue queues."""
+    cpu = make_processor([_chaos_trace(13).build()], policy="rat")
+    cpu.run()
+    for queue in cpu.pipeline.queues:
+        for inst in queue._ready:
+            assert inst.state in (InstState.READY, InstState.SQUASHED,
+                                  InstState.COMPLETED, InstState.RETIRED)
+
+
+def test_determinism_across_constructions():
+    results = []
+    for _ in range(2):
+        cpu = make_processor([_chaos_trace(17).build()], policy="rat")
+        result = cpu.run()
+        results.append((result.cycles, tuple(result.ipcs),
+                        result.total_executed))
+    assert results[0] == results[1]
