@@ -1,21 +1,25 @@
 """Benchmark harness configuration.
 
 Each benchmark regenerates one of the paper's exhibits end to end on the
-bundled simulator.  Runs are memoized process-wide (see
-:mod:`repro.sim.runner`), so later exhibits reuse earlier exhibits' runs —
-the whole harness costs roughly the union of unique simulations, like the
-paper's single campaign.
+bundled simulator.  Runs are memoized process-wide by the simulation
+engine (see :mod:`repro.sim.engine`), so later exhibits reuse earlier
+exhibits' runs — the whole harness costs roughly the union of unique
+simulations, like the paper's single campaign.
 
 Scale knobs (environment):
 
 * ``REPRO_BENCH_WORKLOADS`` — workloads per Table 2 class (default 3 here;
-  unset the default by setting it to the full 10/8 per class).
+  set it to 0 for the full 10/8 per class).
 * ``REPRO_FULL`` — switch to long traces (12k instructions/thread).
+
+The knob parsing is shared with :mod:`repro.experiments.common` so the
+harness and the drivers can't drift.
 """
 
-import os
-
 import pytest
+
+from repro.experiments.common import bench_workloads_per_class
+from repro.sim.runner import default_spec
 
 #: Default workloads per class for the harness; full Table 2 runs take
 #: ~an hour under CPython, so benches sample each class.
@@ -24,14 +28,9 @@ DEFAULT_BENCH_WORKLOADS = 3
 
 @pytest.fixture(scope="session")
 def bench_workloads():
-    raw = os.environ.get("REPRO_BENCH_WORKLOADS")
-    if raw:
-        value = int(raw)
-        return value if value > 0 else None
-    return DEFAULT_BENCH_WORKLOADS
+    return bench_workloads_per_class(DEFAULT_BENCH_WORKLOADS)
 
 
 @pytest.fixture(scope="session")
 def bench_spec():
-    from repro.sim.runner import default_spec
     return default_spec()

@@ -4,20 +4,30 @@ Examples::
 
     python -m repro table1
     python -m repro figure1 --workloads-per-class 3 --trace-len 2000
-    python -m repro all
+    python -m repro all --jobs 4 --cache-dir ~/.cache/repro-smt
     repro-smt figure6 --classes MEM2 MEM4
+
+``--jobs N`` fans independent simulation cells out over N worker
+processes; ``--cache-dir PATH`` persists every result on disk so a
+repeated (or extended) campaign only simulates what it has never
+measured before.  Results are bit-identical whichever backend or cache
+served them.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 import time
 from typing import List, Optional
 
 from .config import baseline
 from .experiments import EXHIBITS
+from .sim.engine import (ProcessPoolBackend, SerialBackend, SimEngine,
+                         set_engine)
 from .sim.runner import RunSpec, default_spec
+from .sim.store import DiskStore, MemoryStore
 from .trace.workloads import WORKLOAD_CLASSES
 
 
@@ -41,6 +51,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--classes", nargs="+", default=None,
                         choices=list(WORKLOAD_CLASSES),
                         help="restrict to specific workload classes")
+    parser.add_argument("--jobs", "-j", type=int, default=1,
+                        help="worker processes for independent "
+                             "simulation cells (default: 1 = serial; "
+                             "results are identical either way)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="directory persisting simulation results "
+                             "across invocations (content-addressed; "
+                             "safe to share between concurrent runs)")
+    parser.add_argument("--no-progress", action="store_true",
+                        help="suppress per-cell progress output")
     return parser
 
 
@@ -52,25 +72,102 @@ def make_spec(args: argparse.Namespace) -> RunSpec:
     if args.seed is not None:
         overrides["seed"] = args.seed
     if overrides:
-        import dataclasses
         spec = dataclasses.replace(spec, **overrides)
     return spec
+
+
+def make_engine(args: argparse.Namespace) -> SimEngine:
+    """Build the engine the whole invocation runs on."""
+    if args.jobs and args.jobs > 1:
+        backend = ProcessPoolBackend(args.jobs)
+    else:
+        backend = SerialBackend()
+    if args.cache_dir:
+        store = DiskStore(args.cache_dir)
+    else:
+        store = MemoryStore()
+    return SimEngine(backend=backend, store=store)
+
+
+class ProgressPrinter:
+    """Per-cell campaign progress on stderr.
+
+    On a terminal the line updates in place; otherwise milestones are
+    printed one per line (start, every ~10%, and completion), so CI logs
+    stay readable.
+    """
+
+    def __init__(self, name: str, stream=None) -> None:
+        self.name = name
+        self.stream = stream if stream is not None else sys.stderr
+        self._tty = bool(getattr(self.stream, "isatty", lambda: False)())
+        self._last_milestone = -1
+        self._last_width = 0
+        self._wrote = False
+
+    def __call__(self, done: int, total: int, cached: int) -> None:
+        running = total - done
+        line = (f"[{self.name}] cells {done}/{total} "
+                f"({cached} cached, {done - cached} simulated, "
+                f"{running} running)")
+        if self._tty:
+            # Pad to the previous line's width so shrinking fields
+            # (e.g. "100 running" -> "99 running") leave no residue.
+            padded = line.ljust(self._last_width)
+            self._last_width = len(line)
+            self.stream.write("\r" + padded)
+            self.stream.flush()
+            self._wrote = True
+        else:
+            milestone = (10 * done) // total if total else 10
+            if milestone != self._last_milestone or done == total:
+                self._last_milestone = milestone
+                print(line, file=self.stream, flush=True)
+
+    def finish(self) -> None:
+        if self._tty and self._wrote:
+            self.stream.write("\n")
+            self.stream.flush()
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     spec = make_spec(args)
     config = baseline()
+    try:
+        engine = make_engine(args)
+    except OSError as error:
+        print(f"repro-smt: error: unusable --cache-dir "
+              f"{args.cache_dir!r}: {error}", file=sys.stderr)
+        return 2
+    previous = set_engine(engine)
     names = sorted(EXHIBITS) if args.exhibit == "all" else [args.exhibit]
-    for name in names:
-        driver = EXHIBITS[name]
-        started = time.time()
-        result = driver(config=config, spec=spec,
-                        classes=args.classes,
-                        workloads_per_class=args.workloads_per_class)
-        print(result.render())
-        print(f"[{name} regenerated in {time.time() - started:.1f}s]")
-        print()
+    try:
+        for name in names:
+            driver = EXHIBITS[name]
+            progress = None
+            if not args.no_progress:
+                progress = ProgressPrinter(name)
+                engine.progress = progress
+            before = engine.counters.snapshot()
+            started = time.time()
+            result = driver(config=config, spec=spec,
+                            classes=args.classes,
+                            workloads_per_class=args.workloads_per_class,
+                            engine=engine)
+            elapsed = time.time() - started
+            if progress is not None:
+                progress.finish()
+                engine.progress = None
+            delta = engine.counters.since(before)
+            print(result.render())
+            print(f"[{name} regenerated in {elapsed:.1f}s | "
+                  f"simulated={delta.simulated}, "
+                  f"cache_hits={delta.store_hits}, "
+                  f"reused={delta.memo_hits}]")
+            print()
+    finally:
+        set_engine(previous)
     return 0
 
 

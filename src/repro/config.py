@@ -25,7 +25,7 @@ mechanism and its ablations (paper §6), and measurement parameters.
 from __future__ import annotations
 
 import dataclasses
-from typing import Tuple
+from typing import Dict, Tuple
 
 from .errors import ConfigError
 
@@ -50,6 +50,14 @@ class CacheConfig:
     @property
     def num_sets(self) -> int:
         return self.num_lines // self.assoc
+
+    def to_dict(self) -> Dict[str, int]:
+        """Canonical JSON-ready form (stable field order via sort_keys)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "CacheConfig":
+        return cls(**data)
 
     def validate(self, name: str) -> None:
         if self.size_bytes <= 0 or self.assoc <= 0 or self.line_bytes <= 0:
@@ -207,6 +215,23 @@ class SMTConfig:
         if fp_regs < 0:
             fp_regs = int_regs
         return dataclasses.replace(self, int_regs=int_regs, fp_regs=fp_regs)
+
+    def to_dict(self) -> Dict:
+        """Canonical nested-dict form, suitable for JSON and cache keying.
+
+        Every field is a JSON scalar or a :class:`CacheConfig` dict, so
+        ``json.dumps(config.to_dict(), sort_keys=True)`` is a stable
+        canonical encoding: equal configs always serialize identically.
+        """
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SMTConfig":
+        data = dict(data)
+        for level in ("icache", "dcache", "l2"):
+            if isinstance(data.get(level), dict):
+                data[level] = CacheConfig.from_dict(data[level])
+        return cls(**data)
 
     def max_threads(self) -> int:
         """Threads supportable given architectural-state register reservation.

@@ -84,6 +84,34 @@ class SimResult:
             "ed2": self.ed2(),
         }
 
+    def to_dict(self) -> Dict:
+        """Canonical JSON-ready form.
+
+        Every field is an int, bool, str or a list thereof — no floats —
+        so a JSON round trip reconstructs a bit-identical result (the
+        disk cache relies on this).
+        """
+        return {
+            "benchmarks": list(self.benchmarks),
+            "policy": self.policy,
+            "cycles": self.cycles,
+            "thread_stats": [stats.to_dict() for stats in self.thread_stats],
+            "truncated": self.truncated,
+            "l2_misses": list(self.l2_misses),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SimResult":
+        return cls(
+            benchmarks=list(data["benchmarks"]),
+            policy=data["policy"],
+            cycles=data["cycles"],
+            thread_stats=[ThreadStats.from_dict(stats)
+                          for stats in data["thread_stats"]],
+            truncated=data.get("truncated", False),
+            l2_misses=list(data.get("l2_misses", ())),
+        )
+
 
 class SMTProcessor:
     """User-facing simulator: configure, run, inspect."""

@@ -36,6 +36,14 @@ class ThreadStats:
     runahead_reg_samples: int = 0
     runahead_regs_held: int = 0
 
+    def to_dict(self) -> Dict[str, int]:
+        """Canonical JSON-ready form (all fields are plain ints)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "ThreadStats":
+        return cls(**data)
+
     def ipc(self, cycles: int) -> float:
         return self.committed / cycles if cycles > 0 else 0.0
 

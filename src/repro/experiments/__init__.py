@@ -1,10 +1,13 @@
 """Experiment drivers: one module per paper exhibit.
 
 Each module exposes ``run(...)`` returning an :class:`ExhibitResult` whose
-``render()`` prints the same rows/series the paper reports.  The drivers
-share memoized simulation runs (see :mod:`repro.sim.runner`), so invoking
-several figures in one process costs little more than the union of their
-unique runs — exactly like the paper's single simulation campaign.
+``render()`` prints the same rows/series the paper reports.  Every driver
+accepts an ``engine`` argument (defaulting to the process-wide
+:func:`repro.sim.engine.get_engine`) and submits its simulation cells in
+batches, so a parallel backend overlaps a whole campaign and a result
+store shares runs across drivers — e.g. Figure 3's ED² numbers reuse the
+very runs Figures 1 and 2 measured, exactly like the paper's single
+simulation campaign — and, with a disk store, across invocations.
 """
 
 from .common import ExhibitResult, bench_spec, bench_workloads_per_class

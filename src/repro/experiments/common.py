@@ -25,9 +25,12 @@ BENCH_WORKLOADS_ENV = "REPRO_BENCH_WORKLOADS"
 
 
 def bench_workloads_per_class(default: Optional[int] = None) -> Optional[int]:
-    """Workloads-per-class cap from the environment, if any."""
+    """Workloads-per-class cap from the environment, if any.
+
+    Unset or empty means ``default``; 0 or negative means uncapped.
+    """
     raw = os.environ.get(BENCH_WORKLOADS_ENV)
-    if raw is None:
+    if raw is None or not raw.strip():
         return default
     value = int(raw)
     return value if value > 0 else None
@@ -62,3 +65,17 @@ def resolve(config: Optional[SMTConfig],
     return (config or baseline(),
             spec or default_spec(),
             tuple(classes) if classes else WORKLOAD_CLASSES)
+
+
+def resolve_engine(engine):
+    """The given engine, or the process-wide default."""
+    if engine is not None:
+        return engine
+    from ..sim.engine import get_engine
+    return get_engine()
+
+
+def class_workloads(klass: str, workloads_per_class: Optional[int]):
+    """One class's Table 2 workloads, optionally capped."""
+    from ..trace.workloads import get_workloads
+    return get_workloads(klass, limit=workloads_per_class)

@@ -48,10 +48,11 @@ def _render_sweep(result: ExhibitResult) -> str:
 def run(config: Optional[SMTConfig] = None,
         spec: Optional[RunSpec] = None,
         classes: Optional[Sequence[str]] = None,
-        workloads_per_class: Optional[int] = None) -> ExhibitResult:
+        workloads_per_class: Optional[int] = None,
+        engine=None) -> ExhibitResult:
     config, spec, classes = resolve(config, spec, classes)
     sweep = sweep_policies(FETCH_POLICIES, classes, config, spec,
-                           workloads_per_class)
+                           workloads_per_class, engine=engine)
     throughput_rows, fairness_rows = _sweep_tables(FETCH_POLICIES, classes,
                                                    sweep)
     relative = [

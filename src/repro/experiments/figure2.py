@@ -18,10 +18,11 @@ from .figure1 import _render_sweep, _sweep_tables
 def run(config: Optional[SMTConfig] = None,
         spec: Optional[RunSpec] = None,
         classes: Optional[Sequence[str]] = None,
-        workloads_per_class: Optional[int] = None) -> ExhibitResult:
+        workloads_per_class: Optional[int] = None,
+        engine=None) -> ExhibitResult:
     config, spec, classes = resolve(config, spec, classes)
     sweep = sweep_policies(RESOURCE_POLICIES, classes, config, spec,
-                           workloads_per_class)
+                           workloads_per_class, engine=engine)
     throughput_rows, fairness_rows = _sweep_tables(RESOURCE_POLICIES,
                                                    classes, sweep)
     relative = [

@@ -19,11 +19,12 @@ from .report import ascii_table
 def run(config: Optional[SMTConfig] = None,
         spec: Optional[RunSpec] = None,
         classes: Optional[Sequence[str]] = None,
-        workloads_per_class: Optional[int] = None) -> ExhibitResult:
+        workloads_per_class: Optional[int] = None,
+        engine=None) -> ExhibitResult:
     config, spec, classes = resolve(config, spec, classes)
     policies = ("icount",) + ENERGY_POLICIES
     sweep = sweep_policies(policies, classes, config, spec,
-                           workloads_per_class)
+                           workloads_per_class, engine=engine)
 
     normalized: Dict[str, Dict[str, float]] = {}
     for policy in ENERGY_POLICIES:

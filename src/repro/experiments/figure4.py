@@ -23,34 +23,30 @@ import dataclasses
 from typing import Dict, List, Optional, Sequence
 
 from ..config import SMTConfig
-from ..sim.runner import RunSpec, run_workload
-from ..trace.workloads import get_workloads
-from .common import ExhibitResult, resolve
+from ..sim.engine import SweepCell
+from ..sim.runner import RunSpec
+from .common import ExhibitResult, class_workloads, resolve, resolve_engine
 from .report import ascii_table
 
 
-def _class_throughput(klass: str, policy: str, config: SMTConfig,
+def _class_throughput(engine, klass: str, policy: str, config: SMTConfig,
                       spec: RunSpec,
                       workloads_per_class: Optional[int]) -> float:
-    workloads = get_workloads(klass)
-    if workloads_per_class is not None:
-        workloads = workloads[:workloads_per_class]
-    values = [run_workload(w, policy, config, spec).throughput
+    workloads = class_workloads(klass, workloads_per_class)
+    values = [engine.run_workload(w, policy, config, spec).throughput
               for w in workloads]
     return sum(values) / len(values)
 
 
-def _overhead(klass: str, rat_noprefetch: SMTConfig, config: SMTConfig,
-              spec: RunSpec,
+def _overhead(engine, klass: str, rat_noprefetch: SMTConfig,
+              config: SMTConfig, spec: RunSpec,
               workloads_per_class: Optional[int]) -> float:
     """Mean co-runner degradation under useless runahead vs STALL."""
-    workloads = get_workloads(klass)
-    if workloads_per_class is not None:
-        workloads = workloads[:workloads_per_class]
+    workloads = class_workloads(klass, workloads_per_class)
     degradations: List[float] = []
     for workload in workloads:
-        noisy = run_workload(workload, "rat", rat_noprefetch, spec)
-        quiet = run_workload(workload, "stall", config, spec)
+        noisy = engine.run_workload(workload, "rat", rat_noprefetch, spec)
+        quiet = engine.run_workload(workload, "stall", config, spec)
         episodes = [stats.runahead_episodes
                     for stats in noisy.result.thread_stats]
         for tid in range(workload.num_threads):
@@ -75,28 +71,42 @@ class _Sources:
 def run(config: Optional[SMTConfig] = None,
         spec: Optional[RunSpec] = None,
         classes: Optional[Sequence[str]] = None,
-        workloads_per_class: Optional[int] = None) -> ExhibitResult:
+        workloads_per_class: Optional[int] = None,
+        engine=None) -> ExhibitResult:
     config, spec, classes = resolve(config, spec, classes)
-    import dataclasses as dc
-    no_prefetch = dc.replace(config, policy="rat", rat_prefetch=False)
-    stop_fetch = dc.replace(config, policy="rat",
-                            rat_stop_fetch_in_runahead=True)
+    engine = resolve_engine(engine)
+    no_prefetch = dataclasses.replace(config, policy="rat",
+                                      rat_prefetch=False)
+    stop_fetch = dataclasses.replace(config, policy="rat",
+                                     rat_stop_fetch_in_runahead=True)
+
+    # Submit every variant's cells in one batch so a parallel backend
+    # overlaps the whole ablation campaign; the helpers below then read
+    # the memoized runs back cell by cell.
+    variants = (("rat", config), ("rat", no_prefetch),
+                ("rat", stop_fetch), ("icount", config),
+                ("stall", config))
+    cells = [SweepCell.make(workload, policy, cfg, spec)
+             for klass in classes
+             for workload in class_workloads(klass, workloads_per_class)
+             for policy, cfg in variants]
+    engine.run_cells(cells)
 
     per_class: Dict[str, _Sources] = {}
     for klass in classes:
-        rat = _class_throughput(klass, "rat", config, spec,
+        rat = _class_throughput(engine, klass, "rat", config, spec,
                                 workloads_per_class)
-        rat_nopf = _class_throughput(klass, "rat", no_prefetch, spec,
-                                     workloads_per_class)
-        rat_stop = _class_throughput(klass, "rat", stop_fetch, spec,
-                                     workloads_per_class)
-        icount = _class_throughput(klass, "icount", config, spec,
+        rat_nopf = _class_throughput(engine, klass, "rat", no_prefetch,
+                                     spec, workloads_per_class)
+        rat_stop = _class_throughput(engine, klass, "rat", stop_fetch,
+                                     spec, workloads_per_class)
+        icount = _class_throughput(engine, klass, "icount", config, spec,
                                    workloads_per_class)
         per_class[klass] = _Sources(
             prefetching=(rat / rat_nopf - 1.0) if rat_nopf else 0.0,
             resource_availability=(rat_stop / icount - 1.0) if icount
             else 0.0,
-            overhead=_overhead(klass, no_prefetch, config, spec,
+            overhead=_overhead(engine, klass, no_prefetch, config, spec,
                                workloads_per_class),
         )
 

@@ -12,23 +12,22 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence, Tuple
 
 from ..config import SMTConfig
-from ..sim.runner import RunSpec, run_workload
-from ..trace.workloads import get_workloads
-from .common import ExhibitResult, resolve
+from ..sim.engine import SweepCell
+from ..sim.runner import RunSpec
+from .common import ExhibitResult, class_workloads, resolve, resolve_engine
 from .report import ascii_table
 
 
-def _class_register_usage(klass: str, config: SMTConfig, spec: RunSpec,
+def _class_register_usage(engine, klass: str, config: SMTConfig,
+                          spec: RunSpec,
                           workloads_per_class: Optional[int]
                           ) -> Tuple[float, float]:
     """(avg regs/cycle in normal mode, avg in runahead mode) per thread."""
-    workloads = get_workloads(klass)
-    if workloads_per_class is not None:
-        workloads = workloads[:workloads_per_class]
+    workloads = class_workloads(klass, workloads_per_class)
     normal_values = []
     runahead_values = []
     for workload in workloads:
-        run = run_workload(workload, "rat", config, spec)
+        run = engine.run_workload(workload, "rat", config, spec)
         for stats in run.result.thread_stats:
             # Compare the two modes of the *same* threads: only programs
             # that actually run ahead contribute, otherwise ILP co-runners
@@ -47,10 +46,16 @@ def _class_register_usage(klass: str, config: SMTConfig, spec: RunSpec,
 def run(config: Optional[SMTConfig] = None,
         spec: Optional[RunSpec] = None,
         classes: Optional[Sequence[str]] = None,
-        workloads_per_class: Optional[int] = None) -> ExhibitResult:
+        workloads_per_class: Optional[int] = None,
+        engine=None) -> ExhibitResult:
     config, spec, classes = resolve(config, spec, classes)
+    engine = resolve_engine(engine)
+    engine.run_cells([
+        SweepCell.make(workload, "rat", config, spec)
+        for klass in classes
+        for workload in class_workloads(klass, workloads_per_class)])
     usage: Dict[str, Tuple[float, float]] = {
-        klass: _class_register_usage(klass, config, spec,
+        klass: _class_register_usage(engine, klass, config, spec,
                                      workloads_per_class)
         for klass in classes
     }

@@ -17,9 +17,9 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import SMTConfig, min_registers_for
-from ..sim.runner import RunSpec, run_workload
-from ..trace.workloads import get_workloads
-from .common import ExhibitResult, resolve
+from ..sim.engine import SweepCell
+from ..sim.runner import RunSpec
+from .common import ExhibitResult, class_workloads, resolve, resolve_engine
 from .report import ascii_table
 
 #: The register-file sizes on the paper's x-axis.
@@ -34,34 +34,46 @@ def effective_size(requested: int, num_threads: int) -> int:
     return max(requested, min_registers_for(num_threads))
 
 
-def _class_series(klass: str, policy: str, config: SMTConfig,
+def _sized_cell(workload, policy: str, size: int, config: SMTConfig,
+                spec: RunSpec) -> SweepCell:
+    actual = effective_size(size, workload.num_threads)
+    sized = config.with_registers(actual)
+    return SweepCell.make(workload, policy, sized, spec)
+
+
+def _class_series(engine, klass: str, policy: str, config: SMTConfig,
                   spec: RunSpec,
                   workloads_per_class: Optional[int]) -> List[float]:
-    workloads = get_workloads(klass)
-    if workloads_per_class is not None:
-        workloads = workloads[:workloads_per_class]
+    workloads = class_workloads(klass, workloads_per_class)
     series = []
     for size in REGISTER_SIZES:
-        throughputs = []
-        for workload in workloads:
-            actual = effective_size(size, workload.num_threads)
-            sized = config.with_registers(actual).with_policy(policy)
-            throughputs.append(run_workload(workload, policy, sized,
-                                            spec).throughput)
-        series.append(sum(throughputs) / len(throughputs))
+        runs = engine.run_cells(
+            [_sized_cell(workload, policy, size, config, spec)
+             for workload in workloads],
+            progress=False)
+        series.append(sum(run.throughput for run in runs) / len(runs))
     return series
 
 
 def run(config: Optional[SMTConfig] = None,
         spec: Optional[RunSpec] = None,
         classes: Optional[Sequence[str]] = None,
-        workloads_per_class: Optional[int] = None) -> ExhibitResult:
+        workloads_per_class: Optional[int] = None,
+        engine=None) -> ExhibitResult:
     config, spec, classes = resolve(config, spec, classes)
+    engine = resolve_engine(engine)
+    # Whole register-file sweep as one batch for the parallel backend.
+    engine.run_cells([
+        _sized_cell(workload, policy, size, config, spec)
+        for klass in classes
+        for workload in class_workloads(klass, workloads_per_class)
+        for policy in SWEEP_POLICIES
+        for size in REGISTER_SIZES])
     series: Dict[Tuple[str, str], List[float]] = {}
     for klass in classes:
         for policy in SWEEP_POLICIES:
             series[(klass, policy)] = _class_series(
-                klass, policy, config, spec, workloads_per_class)
+                engine, klass, policy, config, spec, workloads_per_class)
 
     rows = []
     for klass in classes:

@@ -9,8 +9,13 @@ from .common import ExhibitResult
 from .report import ascii_table
 
 
-def run(config: Optional[SMTConfig] = None, **_ignored) -> ExhibitResult:
-    """Render the active configuration as the paper's Table 1."""
+def run(config: Optional[SMTConfig] = None, engine=None,
+        **_ignored) -> ExhibitResult:
+    """Render the active configuration as the paper's Table 1.
+
+    ``engine`` is accepted for driver-API uniformity; rendering the
+    configuration needs no simulation.
+    """
     config = config or baseline()
     rows = list(config.table1_rows())
 

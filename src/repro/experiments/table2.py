@@ -11,32 +11,40 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from ..config import SMTConfig
-from ..core.processor import SMTProcessor
+from ..sim.engine import SINGLE_CLASS, SweepCell
 from ..sim.runner import RunSpec
-from ..trace.generator import generate_trace
 from ..trace.profiles import benchmark_names, get_profile
-from ..trace.workloads import WORKLOAD_CLASSES, get_workloads
-from .common import ExhibitResult, resolve
+from ..trace.workloads import WORKLOAD_CLASSES, Workload, get_workloads
+from .common import ExhibitResult, resolve, resolve_engine
 from .report import ascii_table
 
 
+def _single_cell(benchmark: str, config: SMTConfig,
+                 spec: RunSpec) -> SweepCell:
+    return SweepCell.make(Workload(SINGLE_CLASS, (benchmark,)),
+                          "icount", config, spec)
+
+
 def measure_l2_mpki(benchmark: str, config: SMTConfig,
-                    spec: RunSpec) -> float:
+                    spec: RunSpec, engine=None) -> float:
     """Single-thread L2 misses per kilo-instruction for one benchmark."""
-    trace = generate_trace(benchmark, spec.trace_len, spec.seed)
-    processor = SMTProcessor(config.with_policy("icount"), [trace])
-    result = processor.run(min_passes=spec.min_passes,
-                           max_cycles=spec.max_cycles)
-    misses = processor.pipeline.mem.stats[0].l2_misses
-    committed = result.thread_stats[0].committed
+    engine = resolve_engine(engine)
+    run = engine.run_workload(Workload(SINGLE_CLASS, (benchmark,)),
+                              "icount", config, spec)
+    misses = run.result.l2_misses[0]
+    committed = run.result.thread_stats[0].committed
     return 1000.0 * misses / max(1, committed)
 
 
 def run(config: Optional[SMTConfig] = None,
-        spec: Optional[RunSpec] = None, **_ignored) -> ExhibitResult:
+        spec: Optional[RunSpec] = None, engine=None,
+        **_ignored) -> ExhibitResult:
     config, spec, _classes = resolve(config, spec, None)
+    engine = resolve_engine(engine)
+    engine.run_cells([_single_cell(name, config, spec)
+                      for name in benchmark_names()])
     mpki: Dict[str, float] = {
-        name: measure_l2_mpki(name, config, spec)
+        name: measure_l2_mpki(name, config, spec, engine=engine)
         for name in benchmark_names()
     }
     workload_rows = []

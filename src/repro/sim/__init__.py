@@ -1,15 +1,25 @@
-"""Measurement layer: FAME methodology, run caching, and sweeps.
+"""Measurement layer: FAME methodology, the simulation engine, and sweeps.
 
-Simulation runs are memoized by (workload, policy, configuration, run
-spec), so the experiment drivers for different figures share runs — e.g.
-Figure 3's ED² numbers reuse the very runs Figures 1 and 2 measured,
-exactly as the paper's tables all come from one simulation campaign.
+Every simulation funnels through a pluggable :class:`SimEngine`
+(:mod:`repro.sim.engine`): a backend decides *where* cells execute
+(serially in-process, or fanned out over worker processes) and a
+:class:`~repro.sim.store.ResultStore` decides *whether* they execute at
+all — results are content-addressed by (workload, policy, configuration,
+run spec), so the experiment drivers for different figures share runs —
+e.g. Figure 3's ED² numbers reuse the very runs Figures 1 and 2 measured,
+exactly as the paper's tables all come from one simulation campaign —
+and, with a disk store, whole invocations reuse earlier campaigns.
 """
 
-from .runner import RunSpec, WorkloadRun, build_traces, run_workload, clear_run_cache
+from .runner import (RunSpec, WorkloadRun, build_traces, run_workload,
+                     clear_run_cache)
 from .baselines import single_thread_ipc
+from .engine import (ProcessPoolBackend, SerialBackend, SimEngine,
+                     SweepCell, get_engine, reference_cell, set_engine,
+                     simulate_cell)
 from .fame import fame_run
 from .results import ClassAggregate, aggregate_by_class
+from .store import DiskStore, MemoryStore, ResultStore, cache_key
 from .sweep import PolicySweep, sweep_policies
 
 __all__ = [
@@ -19,6 +29,18 @@ __all__ = [
     "run_workload",
     "clear_run_cache",
     "single_thread_ipc",
+    "SimEngine",
+    "SweepCell",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "get_engine",
+    "set_engine",
+    "reference_cell",
+    "simulate_cell",
+    "ResultStore",
+    "MemoryStore",
+    "DiskStore",
+    "cache_key",
     "fame_run",
     "ClassAggregate",
     "aggregate_by_class",

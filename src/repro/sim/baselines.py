@@ -2,47 +2,31 @@
 
 The fairness metric (equation 2) compares each thread's multithreaded IPC
 to its IPC when running *alone* on the same machine.  References are
-simulated once per (benchmark, config-structure, spec) and memoized; the
-fetch policy is pinned to ICOUNT because with a single thread every
-policy's fetch schedule degenerates to the same thing and runahead/flush
-long-latency handling would change what "single-thread performance" means.
+ordinary engine cells (see :func:`repro.sim.engine.reference_cell`):
+simulated once per (benchmark, config-structure, spec), memoized by the
+engine's store, and persisted across invocations when a disk cache is
+configured.  The fetch policy is pinned to ICOUNT because with a single
+thread every policy's fetch schedule degenerates to the same thing and
+runahead/flush long-latency handling would change what "single-thread
+performance" means.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Optional
 
-from ..config import SMTConfig, baseline
-from ..core.processor import SMTProcessor
-from ..trace.generator import generate_trace
-from .runner import RunSpec, default_spec
-
-_ST_CACHE: Dict[Tuple, float] = {}
+from ..config import SMTConfig
+from .runner import RunSpec
 
 
 def clear_baseline_cache() -> None:
-    _ST_CACHE.clear()
+    """Drop memoized references (tests use this for isolation)."""
+    from .engine import get_engine
+    get_engine().clear_memory()
 
 
 def single_thread_ipc(benchmark: str, config: Optional[SMTConfig] = None,
                       spec: Optional[RunSpec] = None) -> float:
-    """IPC of ``benchmark`` running alone (memoized)."""
-    if config is None:
-        config = baseline()
-    if spec is None:
-        spec = default_spec()
-    reference_config = config.with_policy("icount")
-    key = (benchmark, reference_config, spec)
-    cached = _ST_CACHE.get(key)
-    if cached is not None:
-        return cached
-    trace = generate_trace(benchmark, spec.trace_len, spec.seed)
-    processor = SMTProcessor(reference_config, [trace])
-    # At least 3 passes: a single pass is dominated by start-up transients
-    # (predictor still training), which would overstate multithreaded
-    # speedups in the fairness metric.
-    result = processor.run(min_passes=max(3, spec.min_passes),
-                           max_cycles=spec.max_cycles)
-    ipc = result.ipcs[0]
-    _ST_CACHE[key] = ipc
-    return ipc
+    """IPC of ``benchmark`` running alone (memoized on the engine)."""
+    from .engine import get_engine
+    return get_engine().single_thread_ipc(benchmark, config, spec)

@@ -1,0 +1,287 @@
+"""Pluggable simulation engine: execution backends + result store.
+
+The whole experiment stack (sweeps, the figure/table drivers, the CLI)
+funnels every simulation through a :class:`SimEngine`.  An engine owns
+
+* a **backend** deciding *where* cells execute — :class:`SerialBackend`
+  runs them in-process, :class:`ProcessPoolBackend` fans independent
+  cells out over worker processes;
+* a **store** (:mod:`repro.sim.store`) deciding *whether* a cell needs
+  executing at all — results are content-addressed by a stable hash of
+  (workload, policy, config, spec, code-version salt), so an engine with
+  a :class:`~repro.sim.store.DiskStore` never re-simulates a cell any
+  previous invocation already measured.
+
+A cell (:class:`SweepCell`) is one (workload, policy, config, spec)
+combination.  Simulation is a pure, deterministic function of the cell
+— :func:`simulate_cell` regenerates the seeded traces and runs the
+processor — so serial and parallel execution produce bit-identical
+results and completion order never matters.
+
+A process-wide default engine (:func:`get_engine` / :func:`set_engine`)
+preserves the historical module-level memoization API: bare
+:func:`repro.sim.runner.run_workload` calls hit the default engine's
+in-memory store.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..config import SMTConfig, baseline
+from ..core.processor import SMTProcessor, SimResult
+from ..trace.generator import generate_trace
+from ..trace.workloads import Workload
+from .runner import RunSpec, WorkloadRun, default_spec
+from .store import MemoryStore, ResultStore, cache_key
+
+#: Workload class label for synthetic one-benchmark workloads (the
+#: single-thread reference runs behind the fairness metric, Table 2's
+#: per-benchmark characterization, ...).
+SINGLE_CLASS = "SINGLE"
+
+#: Progress callback: (cells completed, cells total, of which cached).
+ProgressFn = Callable[[int, int, int], None]
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepCell:
+    """One independently simulatable unit of a campaign."""
+
+    workload: Workload
+    policy: str
+    config: SMTConfig
+    spec: RunSpec
+
+    @classmethod
+    def make(cls, workload: Workload, policy: str,
+             config: Optional[SMTConfig] = None,
+             spec: Optional[RunSpec] = None) -> "SweepCell":
+        """Normalized constructor.
+
+        The policy is folded into the config (``config.with_policy``)
+        before keying, so e.g. ``("rat", icount-config)`` and
+        ``("rat", rat-config)`` address the same cached result.
+        """
+        config = (config if config is not None else baseline())
+        return cls(workload=workload, policy=policy,
+                   config=config.with_policy(policy),
+                   spec=spec if spec is not None else default_spec())
+
+    def key(self) -> str:
+        return cache_key(self.workload, self.policy, self.config, self.spec)
+
+
+def reference_cell(benchmark: str, config: Optional[SMTConfig] = None,
+                   spec: Optional[RunSpec] = None) -> SweepCell:
+    """The cell measuring one benchmark's single-thread reference IPC.
+
+    The fetch policy is pinned to ICOUNT (alone on the machine, every
+    policy's fetch schedule degenerates to the same thing) and at least
+    3 FAME passes are required: a single pass is dominated by start-up
+    transients, which would overstate multithreaded speedups in the
+    fairness metric.
+    """
+    spec = spec if spec is not None else default_spec()
+    ref_spec = dataclasses.replace(spec,
+                                   min_passes=max(3, spec.min_passes))
+    return SweepCell.make(Workload(SINGLE_CLASS, (benchmark,)),
+                          "icount", config, ref_spec)
+
+
+def simulate_cell(cell: SweepCell) -> SimResult:
+    """Simulate one cell from scratch (pure; runs in worker processes).
+
+    Trace generation is seeded by the spec, so any process computing the
+    same cell produces the same traces and therefore the same result.
+    """
+    traces = [generate_trace(name, cell.spec.trace_len, cell.spec.seed)
+              for name in cell.workload.benchmarks]
+    processor = SMTProcessor(cell.config, traces)
+    return processor.run(min_passes=cell.spec.min_passes,
+                         max_cycles=cell.spec.max_cycles)
+
+
+class SerialBackend:
+    """Execute cells one after another in this process."""
+
+    name = "serial"
+    jobs = 1
+
+    def run(self, items: Sequence[Tuple[str, SweepCell]],
+            on_result: Callable[[str, SimResult], None]) -> None:
+        for key, cell in items:
+            on_result(key, simulate_cell(cell))
+
+
+class ProcessPoolBackend:
+    """Fan independent cells out over a pool of worker processes."""
+
+    name = "process-pool"
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        self.jobs = max(1, jobs if jobs is not None
+                        else (os.cpu_count() or 1))
+
+    def run(self, items: Sequence[Tuple[str, SweepCell]],
+            on_result: Callable[[str, SimResult], None]) -> None:
+        if self.jobs == 1 or len(items) <= 1:
+            SerialBackend().run(items, on_result)
+            return
+        workers = min(self.jobs, len(items))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {pool.submit(simulate_cell, cell): key
+                       for key, cell in items}
+            for future in as_completed(futures):
+                on_result(futures[future], future.result())
+
+
+@dataclasses.dataclass
+class EngineCounters:
+    """How the engine satisfied its cells so far."""
+
+    simulated: int = 0    # fresh simulations executed by the backend
+    store_hits: int = 0   # satisfied from the result store
+    memo_hits: int = 0    # satisfied from already-wrapped WorkloadRuns
+
+    def snapshot(self) -> "EngineCounters":
+        return dataclasses.replace(self)
+
+    def since(self, earlier: "EngineCounters") -> "EngineCounters":
+        return EngineCounters(
+            simulated=self.simulated - earlier.simulated,
+            store_hits=self.store_hits - earlier.store_hits,
+            memo_hits=self.memo_hits - earlier.memo_hits,
+        )
+
+
+class SimEngine:
+    """Backend-abstracted, store-backed executor of simulation cells."""
+
+    def __init__(self, backend=None, store: Optional[ResultStore] = None,
+                 progress: Optional[ProgressFn] = None) -> None:
+        self.backend = backend if backend is not None else SerialBackend()
+        self.store = store if store is not None else MemoryStore()
+        self.progress = progress
+        self.counters = EngineCounters()
+        self._memo: Dict[str, WorkloadRun] = {}
+
+    def clear_memory(self) -> None:
+        """Drop in-process memoization (disk entries persist)."""
+        self._memo.clear()
+        self.store.clear()
+
+    def _wrap(self, cell: SweepCell, result: SimResult) -> WorkloadRun:
+        return WorkloadRun(workload=cell.workload, policy=cell.policy,
+                           spec=cell.spec, result=result)
+
+    def _lookup(self, key: str, cell: SweepCell) -> Optional[WorkloadRun]:
+        run = self._memo.get(key)
+        if run is not None:
+            self.counters.memo_hits += 1
+            return run
+        result = self.store.get(key)
+        if result is not None:
+            self.counters.store_hits += 1
+            run = self._wrap(cell, result)
+            self._memo[key] = run
+            return run
+        return None
+
+    def run_cells(self, cells: Sequence[SweepCell],
+                  progress: Optional[ProgressFn] = None
+                  ) -> List[WorkloadRun]:
+        """Execute a batch of cells, returning runs in input order.
+
+        Cached cells are served from the store; the rest are deduplicated
+        and handed to the backend in one batch, so a parallel backend
+        overlaps every outstanding simulation of a campaign.
+
+        ``progress`` defaults to the engine-level callback; pass
+        ``False`` to silence it for internal bookkeeping lookups.
+        """
+        if progress is None:
+            progress = self.progress
+        elif progress is False:
+            progress = None
+        cells = list(cells)
+        total = len(cells)
+        results: List[Optional[WorkloadRun]] = [None] * total
+        waiting: Dict[str, List[int]] = {}
+        waiting_cells: Dict[str, SweepCell] = {}
+        done = 0
+        for index, cell in enumerate(cells):
+            key = cell.key()
+            run = self._lookup(key, cell)
+            if run is not None:
+                results[index] = run
+                done += 1
+            else:
+                waiting.setdefault(key, []).append(index)
+                waiting_cells.setdefault(key, cell)
+        cached = done
+        if progress:
+            progress(done, total, cached)
+
+        def _on_result(key: str, result: SimResult) -> None:
+            nonlocal done
+            self.counters.simulated += 1
+            self.store.put(key, result)
+            run = self._wrap(waiting_cells[key], result)
+            self._memo[key] = run
+            for index in waiting[key]:
+                results[index] = run
+                done += 1
+            if progress:
+                progress(done, total, cached)
+
+        if waiting:
+            items = [(key, waiting_cells[key]) for key in waiting]
+            self.backend.run(items, _on_result)
+        return results  # type: ignore[return-value]
+
+    def run_workload(self, workload: Workload, policy: str,
+                     config: Optional[SMTConfig] = None,
+                     spec: Optional[RunSpec] = None) -> WorkloadRun:
+        """Simulate (or recall) one workload under one policy."""
+        cell = SweepCell.make(workload, policy, config, spec)
+        key = cell.key()
+        run = self._lookup(key, cell)
+        if run is not None:
+            return run
+        return self.run_cells([cell], progress=False)[0]
+
+    def single_thread_ipc(self, benchmark: str,
+                          config: Optional[SMTConfig] = None,
+                          spec: Optional[RunSpec] = None) -> float:
+        """One benchmark's single-thread reference IPC (equation 2)."""
+        cell = reference_cell(benchmark, config, spec)
+        run = self.run_cells([cell], progress=False)[0]
+        return run.result.ipcs[0]
+
+
+_default_engine: Optional[SimEngine] = None
+
+
+def get_engine() -> SimEngine:
+    """The process-wide default engine (serial, in-memory store)."""
+    global _default_engine
+    if _default_engine is None:
+        _default_engine = SimEngine()
+    return _default_engine
+
+
+def set_engine(engine: Optional[SimEngine]) -> Optional[SimEngine]:
+    """Install ``engine`` as the process default; returns the previous one.
+
+    The CLI uses this so every layer below it — drivers, sweeps, the
+    fairness references — shares one backend and one store without
+    threading an engine argument through every call site.
+    """
+    global _default_engine
+    previous = _default_engine
+    _default_engine = engine
+    return previous

@@ -8,7 +8,6 @@ from typing import Dict, List, Optional, Sequence
 from ..config import SMTConfig
 from ..metrics import fairness as fairness_metric
 from ..metrics import throughput as throughput_metric
-from .baselines import single_thread_ipc
 from .runner import RunSpec, WorkloadRun
 
 
@@ -28,16 +27,20 @@ class ClassAggregate:
 
 
 def run_fairness(run: WorkloadRun, config: Optional[SMTConfig] = None,
-                 spec: Optional[RunSpec] = None) -> float:
+                 spec: Optional[RunSpec] = None, engine=None) -> float:
     """Equation (2) for one run, using memoized single-thread references."""
-    st_ipcs = [single_thread_ipc(name, config, spec or run.spec)
+    if engine is None:
+        from .engine import get_engine
+        engine = get_engine()
+    st_ipcs = [engine.single_thread_ipc(name, config, spec or run.spec)
                for name in run.workload.benchmarks]
     return fairness_metric(run.ipcs, st_ipcs)
 
 
 def aggregate_by_class(runs: Sequence[WorkloadRun],
                        config: Optional[SMTConfig] = None,
-                       spec: Optional[RunSpec] = None) -> ClassAggregate:
+                       spec: Optional[RunSpec] = None,
+                       engine=None) -> ClassAggregate:
     """Average one policy's runs (all from one class) into a point."""
     if not runs:
         raise ValueError("cannot aggregate zero runs")
@@ -47,7 +50,8 @@ def aggregate_by_class(runs: Sequence[WorkloadRun],
         if run.workload.klass != klass or run.policy != policy:
             raise ValueError("aggregate_by_class needs a homogeneous group")
     throughputs = [run.throughput for run in runs]
-    fairnesses = [run_fairness(run, config, spec) for run in runs]
+    fairnesses = [run_fairness(run, config, spec, engine=engine)
+                  for run in runs]
     executed = [float(run.executed) for run in runs]
     cpis = [run.cpi for run in runs]
     ed2s = [run.ed2() for run in runs]

@@ -1,10 +1,12 @@
-"""Workload execution with run memoization.
+"""Workload execution on top of the simulation engine.
 
 The paper's simulation campaign runs every Table 2 workload under every
-policy; many figures then slice the same runs differently.  This module
-provides exactly that: :func:`run_workload` simulates one (workload,
-policy, config) combination under a :class:`RunSpec` and memoizes the
-outcome, so each combination is simulated once per process no matter how
+policy; many figures then slice the same runs differently.
+:func:`run_workload` simulates one (workload, policy, config) combination
+under a :class:`RunSpec`, delegating to the process-wide default
+:class:`~repro.sim.engine.SimEngine`, which memoizes outcomes (and, when
+configured with a :class:`~repro.sim.store.DiskStore`, persists them
+across invocations), so each combination is simulated once no matter how
 many figures consume it.
 """
 
@@ -12,10 +14,9 @@ from __future__ import annotations
 
 import dataclasses
 import os
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
-from ..config import SMTConfig, baseline
-from ..core.processor import SMTProcessor, SimResult
+from ..core.processor import SimResult
 from ..trace.generator import generate_trace
 from ..trace.trace import Trace
 from ..trace.workloads import Workload
@@ -37,6 +38,14 @@ class RunSpec:
     seed: int = 1
     min_passes: int = 1
     max_cycles: int = 2_000_000
+
+    def to_dict(self) -> Dict[str, int]:
+        """Canonical JSON-ready form."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "RunSpec":
+        return cls(**data)
 
 
 def default_spec() -> RunSpec:
@@ -75,12 +84,10 @@ class WorkloadRun:
         return self.result.ed2()
 
 
-_RUN_CACHE: Dict[Tuple, WorkloadRun] = {}
-
-
 def clear_run_cache() -> None:
-    """Drop all memoized runs (tests use this for isolation)."""
-    _RUN_CACHE.clear()
+    """Drop the default engine's memoized runs (tests use this)."""
+    from .engine import get_engine
+    get_engine().clear_memory()
 
 
 def build_traces(workload: Workload, spec: RunSpec) -> List[Trace]:
@@ -90,22 +97,7 @@ def build_traces(workload: Workload, spec: RunSpec) -> List[Trace]:
 
 
 def run_workload(workload: Workload, policy: str,
-                 config: Optional[SMTConfig] = None,
-                 spec: Optional[RunSpec] = None) -> WorkloadRun:
-    """Simulate one workload under one policy (memoized)."""
-    if config is None:
-        config = baseline()
-    if spec is None:
-        spec = default_spec()
-    key = (workload.klass, workload.benchmarks, policy, config, spec)
-    cached = _RUN_CACHE.get(key)
-    if cached is not None:
-        return cached
-    traces = build_traces(workload, spec)
-    processor = SMTProcessor(config.with_policy(policy), traces)
-    result = processor.run(min_passes=spec.min_passes,
-                           max_cycles=spec.max_cycles)
-    run = WorkloadRun(workload=workload, policy=policy, spec=spec,
-                      result=result)
-    _RUN_CACHE[key] = run
-    return run
+                 config=None, spec: Optional[RunSpec] = None) -> WorkloadRun:
+    """Simulate one workload under one policy (memoized on the engine)."""
+    from .engine import get_engine
+    return get_engine().run_workload(workload, policy, config, spec)

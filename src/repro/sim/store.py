@@ -1,0 +1,166 @@
+"""Persistent result stores and content-addressed cache keys.
+
+The simulator is a pure function of (workload, policy, config, run spec):
+the same cell always produces the same :class:`SimResult`, bit for bit.
+That makes results content-addressable.  :func:`cache_key` hashes the
+canonical JSON encoding of a cell (plus a code-version salt, bumped
+whenever simulation semantics change) into a stable hex key, and the
+stores below map those keys to results:
+
+* :class:`MemoryStore` — a plain in-process dict (the default, matching
+  the old per-process memoization);
+* :class:`DiskStore` — one JSON file per result under a cache directory,
+  fronted by a memory layer.  Writes are atomic (temp file + rename) so
+  concurrent sweep processes sharing one cache directory are safe.
+
+Because :meth:`SimResult.to_dict` contains no floats, a disk round trip
+reconstructs results exactly; cached and freshly simulated campaigns are
+indistinguishable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Dict, Optional
+
+from ..core.processor import SimResult
+
+#: Bump whenever a change to the simulator alters what a cell produces;
+#: stale on-disk entries then miss instead of serving wrong results.
+CODE_VERSION_SALT = "sim-engine-v1"
+
+
+def canonical_json(payload) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def cache_key(workload, policy, config, spec,
+              salt: str = CODE_VERSION_SALT) -> str:
+    """Stable content hash identifying one simulation cell."""
+    payload = {
+        "workload": workload.to_dict(),
+        "policy": policy,
+        "config": config.to_dict(),
+        "spec": spec.to_dict(),
+        "salt": salt,
+    }
+    digest = hashlib.sha256(canonical_json(payload).encode("utf-8"))
+    return digest.hexdigest()
+
+
+class ResultStore:
+    """Base store: counts hits/misses/puts around subclass storage."""
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+
+    def get(self, key: str) -> Optional[SimResult]:
+        result = self._load(key)
+        if result is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return result
+
+    def put(self, key: str, result: SimResult) -> None:
+        self.puts += 1
+        self._save(key, result)
+
+    def clear(self) -> None:
+        raise NotImplementedError
+
+    def _load(self, key: str) -> Optional[SimResult]:
+        raise NotImplementedError
+
+    def _save(self, key: str, result: SimResult) -> None:
+        raise NotImplementedError
+
+
+class MemoryStore(ResultStore):
+    """In-process dict store (per-process memoization)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._results: Dict[str, SimResult] = {}
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def clear(self) -> None:
+        self._results.clear()
+
+    def _load(self, key: str) -> Optional[SimResult]:
+        return self._results.get(key)
+
+    def _save(self, key: str, result: SimResult) -> None:
+        self._results[key] = result
+
+
+class DiskStore(ResultStore):
+    """JSON-file store under ``root``, fronted by a memory layer.
+
+    Layout: ``root/<key[:2]>/<key>.json`` (fan-out keeps directories
+    small on big campaigns).  Unreadable or corrupt entries are treated
+    as misses, never as errors.
+    """
+
+    def __init__(self, root: str) -> None:
+        super().__init__()
+        self.root = root
+        self._memory: Dict[str, SimResult] = {}
+        os.makedirs(self.root, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key + ".json")
+
+    def __len__(self) -> int:
+        count = 0
+        for _dirpath, _dirnames, filenames in os.walk(self.root):
+            count += sum(1 for name in filenames if name.endswith(".json"))
+        return count
+
+    def clear(self) -> None:
+        """Drop the memory layer (disk entries persist by design)."""
+        self._memory.clear()
+
+    def _load(self, key: str) -> Optional[SimResult]:
+        cached = self._memory.get(key)
+        if cached is not None:
+            return cached
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            result = SimResult.from_dict(data["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        self._memory[key] = result
+        return result
+
+    def _save(self, key: str, result: SimResult) -> None:
+        # Persisting is best-effort: the result is already in hand (and
+        # in the memory layer), so a full disk or read-only cache must
+        # not abort a campaign — it just forfeits reuse of this entry.
+        self._memory[key] = result
+        path = self._path(key)
+        payload = {"key": key, "salt": CODE_VERSION_SALT,
+                   "result": result.to_dict()}
+        tmp_path = None
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(dir=os.path.dirname(path),
+                                            suffix=".tmp")
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp_path, path)
+        except OSError:
+            if tmp_path is not None:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass

@@ -1,14 +1,22 @@
-"""Policy x workload-class sweeps (the shape of every figure)."""
+"""Policy x workload-class sweeps (the shape of every figure).
+
+Sweeps build the full cross product of (policy, workload) cells — plus
+the single-thread reference cells the fairness metric needs — and submit
+them to the simulation engine in **one batch**, so a parallel backend
+overlaps every outstanding simulation of the campaign instead of walking
+nested loops serially.
+"""
 
 from __future__ import annotations
 
 import dataclasses
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..config import SMTConfig
+from ..config import SMTConfig, baseline
 from ..trace.workloads import get_workloads
+from .engine import ProgressFn, SweepCell, reference_cell
 from .results import ClassAggregate, aggregate_by_class
-from .runner import RunSpec, run_workload
+from .runner import RunSpec, default_spec
 
 
 @dataclasses.dataclass
@@ -45,7 +53,9 @@ class PolicySweep:
 def sweep_policies(policies: Sequence[str], classes: Sequence[str],
                    config: Optional[SMTConfig] = None,
                    spec: Optional[RunSpec] = None,
-                   workloads_per_class: Optional[int] = None) -> PolicySweep:
+                   workloads_per_class: Optional[int] = None,
+                   engine=None,
+                   progress: Optional[ProgressFn] = None) -> PolicySweep:
     """Run every policy on every workload of the given classes.
 
     Args:
@@ -55,15 +65,41 @@ def sweep_policies(policies: Sequence[str], classes: Sequence[str],
         spec: Run spec (scaled default when omitted).
         workloads_per_class: Optional cap on workloads per class, for
             quick looks; figures use the full Table 2 set.
+        engine: Simulation engine (process default when omitted).
+        progress: Per-cell progress callback, forwarded to the engine.
     """
-    cells: Dict[Tuple[str, str], ClassAggregate] = {}
+    if engine is None:
+        from .engine import get_engine
+        engine = get_engine()
+    config = config if config is not None else baseline()
+    spec = spec if spec is not None else default_spec()
+
+    groups: List[Tuple[str, str]] = []          # (policy, klass) per group
+    group_cells: List[List[SweepCell]] = []     # sweep cells per group
+    benchmarks = set()
     for klass in classes:
-        workloads = get_workloads(klass)
-        if workloads_per_class is not None:
-            workloads = workloads[:workloads_per_class]
+        workloads = get_workloads(klass, limit=workloads_per_class)
         for policy in policies:
-            runs = [run_workload(workload, policy, config, spec)
-                    for workload in workloads]
-            cells[(policy, klass)] = aggregate_by_class(runs, config, spec)
+            groups.append((policy, klass))
+            group_cells.append([SweepCell.make(workload, policy,
+                                               config, spec)
+                                for workload in workloads])
+        for workload in workloads:
+            benchmarks.update(workload.benchmarks)
+
+    # One flat batch: every sweep cell plus every fairness reference the
+    # aggregation below will ask for.
+    flat = [cell for cells in group_cells for cell in cells]
+    refs = [reference_cell(name, config, spec)
+            for name in sorted(benchmarks)]
+    flat_runs = engine.run_cells(flat + refs, progress=progress)
+
+    cells: Dict[Tuple[str, str], ClassAggregate] = {}
+    cursor = 0
+    for (policy, klass), cell_group in zip(groups, group_cells):
+        runs = flat_runs[cursor:cursor + len(cell_group)]
+        cursor += len(cell_group)
+        cells[(policy, klass)] = aggregate_by_class(runs, config, spec,
+                                                    engine=engine)
     return PolicySweep(policies=tuple(policies), classes=tuple(classes),
                        cells=cells)

@@ -12,7 +12,7 @@ The benchmark tuples below are transcribed verbatim from Table 2.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import UnknownWorkloadError
 from .profiles import get_profile
@@ -35,6 +35,15 @@ class Workload:
 
     def profiles(self):
         return tuple(get_profile(b) for b in self.benchmarks)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical JSON-ready form."""
+        return {"klass": self.klass, "benchmarks": list(self.benchmarks)}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Workload":
+        return cls(klass=data["klass"],
+                   benchmarks=tuple(data["benchmarks"]))
 
     def __str__(self) -> str:
         return f"{self.klass}({self.name})"
@@ -101,12 +110,16 @@ def workload_class_names() -> Tuple[str, ...]:
     return WORKLOAD_CLASSES
 
 
-def get_workloads(klass: str) -> List[Workload]:
-    """All workloads of one Table 2 class."""
+def get_workloads(klass: str,
+                  limit: Optional[int] = None) -> List[Workload]:
+    """Workloads of one Table 2 class, optionally capped to the first
+    ``limit`` (the quick-look semantics every sweep and driver shares)."""
     try:
         rows = _TABLE2[klass]
     except KeyError:
         raise UnknownWorkloadError(klass) from None
+    if limit is not None:
+        rows = rows[:limit]
     return [Workload(klass=klass, benchmarks=row) for row in rows]
 
 

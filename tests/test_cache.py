@@ -7,7 +7,7 @@ from repro.mem.cache import Cache
 from repro.mem.hierarchy import MemoryHierarchy
 from repro.mem.mshr import MSHRFile
 
-from conftest import SMALL_CONFIG
+from repro.testing import SMALL_CONFIG
 
 
 def _small_cache(ways=2, sets=4):

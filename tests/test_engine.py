@@ -1,0 +1,242 @@
+"""Tests for the simulation engine: backends, stores, cache keying.
+
+Acceptance properties (ISSUE 1):
+
+* ``ProcessPoolBackend`` and ``SerialBackend`` produce byte-identical
+  results for the same sweep;
+* a figure-level sweep run twice against one ``--cache-dir`` performs
+  zero simulations the second time;
+* a config change busts the cache key.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.config import baseline
+from repro.core.processor import SimResult
+from repro.experiments import figure1
+from repro.sim.engine import (
+    ProcessPoolBackend,
+    SerialBackend,
+    SimEngine,
+    SweepCell,
+    get_engine,
+    reference_cell,
+    set_engine,
+    simulate_cell,
+)
+from repro.sim.runner import RunSpec
+from repro.sim.store import DiskStore, MemoryStore, cache_key
+from repro.sim.sweep import sweep_policies
+from repro.trace.workloads import Workload
+
+TINY = RunSpec(trace_len=300, seed=3, max_cycles=200_000)
+
+WORKLOAD = Workload("ILP2", ("gzip", "eon"))
+MEM_WORKLOAD = Workload("MEM2", ("swim", "art"))
+
+
+def canonical(result: SimResult) -> str:
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+def small_sweep(engine):
+    return sweep_policies(("icount", "rat"), ("MEM2",), spec=TINY,
+                          workloads_per_class=2, engine=engine)
+
+
+def sweep_fingerprint(sweep, engine) -> str:
+    """Canonical bytes of every run + aggregate metric of a sweep."""
+    payload = {
+        "results": [[canonical(run.result) for run in agg.runs]
+                    for agg in sweep.cells.values()],
+        "metrics": {
+            f"{policy}/{klass}/{name}": repr(
+                sweep.metric(policy, klass, name))
+            for (policy, klass) in sweep.cells
+            for name in ("throughput", "fairness", "executed", "cpi",
+                         "ed2")
+        },
+    }
+    return json.dumps(payload, sort_keys=True)
+
+
+class TestCacheKey:
+    def test_key_is_stable(self):
+        cell = SweepCell.make(WORKLOAD, "icount", spec=TINY)
+        assert cell.key() == cell.key()
+        again = SweepCell.make(WORKLOAD, "icount", spec=TINY)
+        assert cell.key() == again.key()
+
+    def test_policy_normalized_into_config(self):
+        plain = SweepCell.make(WORKLOAD, "rat", baseline(), TINY)
+        prepoliced = SweepCell.make(WORKLOAD, "rat",
+                                    baseline().with_policy("rat"), TINY)
+        assert plain.key() == prepoliced.key()
+
+    def test_config_change_busts_key(self):
+        base = SweepCell.make(WORKLOAD, "icount", baseline(), TINY)
+        resized = SweepCell.make(WORKLOAD, "icount",
+                                 baseline().with_registers(160), TINY)
+        assert base.key() != resized.key()
+
+    def test_spec_change_busts_key(self):
+        base = SweepCell.make(WORKLOAD, "icount", spec=TINY)
+        longer = SweepCell.make(
+            WORKLOAD, "icount",
+            spec=RunSpec(trace_len=301, seed=3, max_cycles=200_000))
+        assert base.key() != longer.key()
+
+    def test_salt_busts_key(self):
+        config, spec = baseline(), TINY
+        assert (cache_key(WORKLOAD, "icount", config, spec, salt="a")
+                != cache_key(WORKLOAD, "icount", config, spec, salt="b"))
+
+
+class TestSerialization:
+    def test_simresult_json_roundtrip_is_exact(self):
+        result = simulate_cell(SweepCell.make(WORKLOAD, "icount",
+                                              spec=TINY))
+        restored = SimResult.from_dict(
+            json.loads(json.dumps(result.to_dict())))
+        assert canonical(restored) == canonical(result)
+        assert restored.ipcs == result.ipcs
+        assert restored.ed2() == result.ed2()
+
+    def test_config_roundtrip(self):
+        config = baseline().with_policy("rat", rat_prefetch=False)
+        assert type(config).from_dict(config.to_dict()) == config
+
+    def test_spec_and_workload_roundtrip(self):
+        assert RunSpec.from_dict(TINY.to_dict()) == TINY
+        assert Workload.from_dict(WORKLOAD.to_dict()) == WORKLOAD
+
+
+class TestEngineMemo:
+    def test_run_workload_returns_same_object(self):
+        engine = SimEngine()
+        first = engine.run_workload(WORKLOAD, "icount", spec=TINY)
+        second = engine.run_workload(WORKLOAD, "icount", spec=TINY)
+        assert first is second
+        assert engine.counters.simulated == 1
+
+    def test_duplicate_cells_simulated_once(self):
+        engine = SimEngine()
+        cell = SweepCell.make(MEM_WORKLOAD, "icount", spec=TINY)
+        runs = engine.run_cells([cell, cell, cell])
+        assert engine.counters.simulated == 1
+        assert runs[0] is runs[1] is runs[2]
+
+    def test_default_engine_swap(self):
+        engine = SimEngine()
+        previous = set_engine(engine)
+        try:
+            assert get_engine() is engine
+        finally:
+            set_engine(previous)
+
+
+class TestBackendDeterminism:
+    def test_pool_matches_serial_bit_identical(self):
+        serial = SimEngine(backend=SerialBackend())
+        pooled = SimEngine(backend=ProcessPoolBackend(jobs=2))
+        fp_serial = sweep_fingerprint(small_sweep(serial), serial)
+        fp_pooled = sweep_fingerprint(small_sweep(pooled), pooled)
+        assert fp_serial == fp_pooled
+        assert pooled.counters.simulated > 0
+
+    def test_pool_single_job_falls_back_to_serial(self):
+        engine = SimEngine(backend=ProcessPoolBackend(jobs=1))
+        run = engine.run_workload(WORKLOAD, "icount", spec=TINY)
+        assert run.throughput > 0
+
+
+class TestResultStore:
+    def test_second_sweep_performs_zero_simulations(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        first = SimEngine(store=DiskStore(cache))
+        fingerprint = sweep_fingerprint(small_sweep(first), first)
+        assert first.counters.simulated > 0
+
+        second = SimEngine(store=DiskStore(cache))
+        refingerprint = sweep_fingerprint(small_sweep(second), second)
+        assert second.counters.simulated == 0
+        assert second.counters.store_hits > 0
+        assert refingerprint == fingerprint
+
+    def test_config_change_busts_disk_cache(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        first = SimEngine(store=DiskStore(cache))
+        first.run_workload(WORKLOAD, "icount", spec=TINY)
+
+        second = SimEngine(store=DiskStore(cache))
+        second.run_workload(WORKLOAD, "icount",
+                            config=baseline().with_registers(160),
+                            spec=TINY)
+        assert second.counters.simulated == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        engine = SimEngine(store=DiskStore(cache))
+        engine.run_workload(WORKLOAD, "icount", spec=TINY)
+        for path in (tmp_path / "cache").rglob("*.json"):
+            path.write_text("{not json")
+
+        again = SimEngine(store=DiskStore(cache))
+        again.run_workload(WORKLOAD, "icount", spec=TINY)
+        assert again.counters.simulated == 1
+
+    def test_memory_store_hit_counting(self):
+        store = MemoryStore()
+        engine = SimEngine(store=store)
+        engine.run_workload(MEM_WORKLOAD, "icount", spec=TINY)
+        engine._memo.clear()  # force the next lookup through the store
+        engine.run_workload(MEM_WORKLOAD, "icount", spec=TINY)
+        assert store.hits == 1
+        assert engine.counters.simulated == 1
+
+
+class TestFigureLevelCaching:
+    """The ISSUE acceptance criterion, at figure granularity."""
+
+    def test_figure1_second_run_zero_simulations(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        kwargs = dict(spec=TINY, classes=("MEM2",), workloads_per_class=1)
+
+        first = SimEngine(store=DiskStore(cache))
+        result1 = figure1(engine=first, **kwargs)
+        assert first.counters.simulated > 0
+
+        second = SimEngine(store=DiskStore(cache))
+        result2 = figure1(engine=second, **kwargs)
+        assert second.counters.simulated == 0
+        assert result2.render() == result1.render()
+
+
+class TestCLIIntegration:
+    ARGS = ["figure1", "--trace-len", "300", "--seed", "3",
+            "--workloads-per-class", "1", "--classes", "MEM2",
+            "--no-progress"]
+
+    def test_jobs_flag_matches_serial_output(self, tmp_path, capsys):
+        assert main(self.ARGS + ["--jobs", "1"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(self.ARGS + ["--jobs", "2"]) == 0
+        pooled_out = capsys.readouterr().out
+        # The exhibit body (everything before the timing line) must be
+        # byte-identical between backends.
+        strip = lambda text: [line for line in text.splitlines()
+                              if not line.startswith("[figure1 ")]
+        assert strip(pooled_out) == strip(serial_out)
+        assert "simulated=" in serial_out
+
+    def test_cache_dir_round_trip(self, tmp_path, capsys):
+        args = self.ARGS + ["--cache-dir", str(tmp_path / "cache")]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "simulated=0," in second
+        assert "simulated=0," not in first

@@ -11,6 +11,10 @@ from repro.experiments import (
     table1,
     table2,
 )
+from repro.experiments.common import (
+    BENCH_WORKLOADS_ENV,
+    bench_workloads_per_class,
+)
 from repro.experiments.figure6 import effective_size
 from repro.experiments.report import ascii_table, bar_chart
 from repro.sim.runner import RunSpec, clear_run_cache
@@ -25,6 +29,24 @@ def _fresh():
     clear_run_cache()
     yield
     clear_run_cache()
+
+
+class TestBenchKnobs:
+    def test_unset_env_returns_default(self, monkeypatch):
+        monkeypatch.delenv(BENCH_WORKLOADS_ENV, raising=False)
+        assert bench_workloads_per_class(3) == 3
+
+    def test_empty_env_returns_default(self, monkeypatch):
+        monkeypatch.setenv(BENCH_WORKLOADS_ENV, "")
+        assert bench_workloads_per_class(3) == 3
+
+    def test_zero_means_uncapped(self, monkeypatch):
+        monkeypatch.setenv(BENCH_WORKLOADS_ENV, "0")
+        assert bench_workloads_per_class(3) is None
+
+    def test_positive_value_wins(self, monkeypatch):
+        monkeypatch.setenv(BENCH_WORKLOADS_ENV, "5")
+        assert bench_workloads_per_class(3) == 5
 
 
 class TestReportRendering:

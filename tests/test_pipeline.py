@@ -6,7 +6,7 @@ from repro.core.dyninst import InstState
 from repro.errors import SimulationError
 from repro.isa import OpClass
 
-from conftest import SMALL_CONFIG, TraceBuilder, make_processor
+from repro.testing import SMALL_CONFIG, TraceBuilder, make_processor
 
 
 class TestBasicExecution:

@@ -16,7 +16,7 @@ from repro.policies import (
     create_policy,
 )
 
-from conftest import SMALL_CONFIG, TraceBuilder, make_processor
+from repro.testing import SMALL_CONFIG, TraceBuilder, make_processor
 
 
 def _mem_trace(tail=30):

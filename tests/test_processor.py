@@ -11,7 +11,7 @@ from repro.sim.runner import FULL_ENV_VAR, RunSpec, default_spec
 from repro.experiments.common import bench_workloads_per_class
 from repro.trace.generator import generate_trace
 
-from conftest import SMALL_CONFIG, TraceBuilder, make_processor
+from repro.testing import SMALL_CONFIG, TraceBuilder, make_processor
 
 
 def _result(committed=(100, 50), executed=(120, 60), cycles=100):

@@ -8,7 +8,7 @@ from repro.core.runahead import RunaheadCache
 from repro.core.thread import ThreadMode
 from repro.isa import RegClass
 
-from conftest import SMALL_CONFIG, TraceBuilder, make_processor
+from repro.testing import SMALL_CONFIG, TraceBuilder, make_processor
 
 FULL_MISS = (SMALL_CONFIG.dcache.latency + SMALL_CONFIG.l2.latency
              + SMALL_CONFIG.memory_latency)

@@ -13,7 +13,7 @@ import pytest
 from repro.core.dyninst import InstState
 from repro.isa import OpClass
 
-from conftest import SMALL_CONFIG, TraceBuilder, make_processor
+from repro.testing import SMALL_CONFIG, TraceBuilder, make_processor
 
 
 def _chaos_trace(seed: int, length: int = 400) -> "TraceBuilder":

@@ -8,7 +8,7 @@ from repro.core.thread import (
     ThreadMode,
 )
 
-from conftest import TraceBuilder
+from repro.testing import TraceBuilder
 
 
 def _thread(trace=None, pass_shift=True, tid=0):
