@@ -7,7 +7,10 @@ trace, and measure how much runahead helps as the program shifts from
 pointer-chasing (serial misses) to streaming (parallel misses).
 
 Run:  python examples/custom_workload.py
+(set REPRO_EXAMPLE_TRACE_LEN for a shorter/longer run, e.g. in CI)
 """
+
+import os
 
 from repro import SMTConfig, SMTProcessor
 from repro.experiments.report import ascii_table
@@ -15,7 +18,7 @@ from repro.trace.generator import TraceGenerator
 from repro.trace.profiles import BenchmarkProfile
 
 MB = 1024 * 1024
-TRACE_LEN = 3000
+TRACE_LEN = int(os.environ.get("REPRO_EXAMPLE_TRACE_LEN", "3000"))
 
 
 def make_profile(name: str, stream: float, chase: float) -> BenchmarkProfile:

@@ -10,6 +10,7 @@ Run:  python examples/policy_comparison.py [--trace-len N]
 """
 
 import argparse
+import os
 
 from repro import SMTConfig, SMTProcessor, generate_trace
 from repro.experiments.report import ascii_table
@@ -20,7 +21,9 @@ POLICIES = ("icount", "stall", "flush", "dcra", "hill", "mlp", "rat")
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--trace-len", type=int, default=3000)
+    parser.add_argument(
+        "--trace-len", type=int,
+        default=int(os.environ.get("REPRO_EXAMPLE_TRACE_LEN", "3000")))
     args = parser.parse_args()
 
     rows = []

@@ -6,11 +6,14 @@ memory-bound benchmark (swim) and a pointer-chaser (mcf), and compares the
 baseline ICOUNT fetch policy against Runahead Threads.
 
 Run:  python examples/quickstart.py
+(set REPRO_EXAMPLE_TRACE_LEN for a shorter/longer run, e.g. in CI)
 """
+
+import os
 
 from repro import SMTConfig, SMTProcessor, generate_trace
 
-TRACE_LEN = 3000
+TRACE_LEN = int(os.environ.get("REPRO_EXAMPLE_TRACE_LEN", "3000"))
 
 
 def run(policy: str):

@@ -8,14 +8,17 @@ loses much of its throughput, and RaT with a small file beats FLUSH with
 the full 320 registers (paper Figure 6).
 
 Run:  python examples/register_pressure.py
+(set REPRO_EXAMPLE_TRACE_LEN for a shorter/longer run, e.g. in CI)
 """
+
+import os
 
 from repro import SMTConfig, SMTProcessor, generate_trace
 from repro.experiments.report import ascii_table
 
 SIZES = (96, 128, 192, 256, 320)
 BENCHES = ("swim", "mcf")
-TRACE_LEN = 3000
+TRACE_LEN = int(os.environ.get("REPRO_EXAMPLE_TRACE_LEN", "3000"))
 
 
 def throughput(policy: str, regs: int) -> float:

@@ -4,31 +4,48 @@ Examples::
 
     python -m repro table1
     python -m repro figure1 --workloads-per-class 3 --trace-len 2000
-    python -m repro all --jobs 4 --cache-dir ~/.cache/repro-smt
-    repro-smt figure6 --classes MEM2 MEM4
+    python -m repro all --jobs 0 --cache-dir ~/.cache/repro-smt
+    python -m repro all --format json --output results/
+    repro-smt figure6 --classes MEM2 MEM4 --format csv
 
-``--jobs N`` fans independent simulation cells out over N worker
-processes; ``--cache-dir PATH`` persists every result on disk so a
-repeated (or extended) campaign only simulates what it has never
-measured before.  Results are bit-identical whichever backend or cache
-served them.
+However many exhibits are requested, their planned simulation cells are
+unioned into **one** deduplicated batch (costliest cells first), so
+``repro all --jobs N`` fills the worker pool exactly once and shared
+cells are simulated a single time.  ``--jobs N`` fans cells out over N
+worker processes (0 = one per CPU core); ``--cache-dir PATH`` persists
+every result on disk so a repeated (or extended) campaign only simulates
+what it has never measured before.  Results are bit-identical whichever
+backend or cache served them.
 """
 
 from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
+import os
 import sys
 import time
 from typing import List, Optional
 
 from .config import baseline
-from .experiments import EXHIBITS
+from .experiments import Campaign, ExhibitContext, exhibit_names
+from .experiments.common import RENDER_FORMATS
 from .sim.engine import (ProcessPoolBackend, SerialBackend, SimEngine,
                          set_engine)
 from .sim.runner import RunSpec, default_spec
 from .sim.store import DiskStore, MemoryStore
 from .trace.workloads import WORKLOAD_CLASSES
+
+#: File extension per --format value.
+FORMAT_EXTENSIONS = {"text": "txt", "json": "json", "csv": "csv"}
+
+
+def _jobs(value: str) -> int:
+    jobs = int(value)
+    if jobs < 0:
+        raise argparse.ArgumentTypeError("--jobs must be >= 0")
+    return jobs
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -38,8 +55,10 @@ def build_parser() -> argparse.ArgumentParser:
                     "Performance' (HPCA 2008): regenerate its tables "
                     "and figures on the bundled simulator.")
     parser.add_argument("exhibit",
-                        choices=sorted(EXHIBITS) + ["all"],
-                        help="which exhibit to regenerate")
+                        choices=sorted(exhibit_names()) + ["all"],
+                        help="which exhibit to regenerate ('all' plans "
+                             "every exhibit and simulates their union "
+                             "as one deduplicated batch)")
     parser.add_argument("--trace-len", type=int, default=None,
                         help="instructions per thread trace "
                              "(default: RunSpec default)")
@@ -51,14 +70,23 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--classes", nargs="+", default=None,
                         choices=list(WORKLOAD_CLASSES),
                         help="restrict to specific workload classes")
-    parser.add_argument("--jobs", "-j", type=int, default=1,
+    parser.add_argument("--jobs", "-j", type=_jobs, default=1,
                         help="worker processes for independent "
                              "simulation cells (default: 1 = serial; "
+                             "0 = auto-detect, one per CPU core; "
                              "results are identical either way)")
     parser.add_argument("--cache-dir", default=None,
                         help="directory persisting simulation results "
                              "across invocations (content-addressed; "
                              "safe to share between concurrent runs)")
+    parser.add_argument("--format", choices=RENDER_FORMATS,
+                        default="text", dest="format",
+                        help="output rendering: 'text' (the paper's "
+                             "ASCII tables), machine-readable 'json', "
+                             "or 'csv' (default: text)")
+    parser.add_argument("--output", default=None, metavar="DIR",
+                        help="also write each exhibit to "
+                             "DIR/<exhibit>.<ext> in the chosen format")
     parser.add_argument("--no-progress", action="store_true",
                         help="suppress per-cell progress output")
     return parser
@@ -78,7 +106,9 @@ def make_spec(args: argparse.Namespace) -> RunSpec:
 
 def make_engine(args: argparse.Namespace) -> SimEngine:
     """Build the engine the whole invocation runs on."""
-    if args.jobs and args.jobs > 1:
+    if args.jobs == 0:
+        backend = ProcessPoolBackend()  # one worker per CPU core
+    elif args.jobs > 1:
         backend = ProcessPoolBackend(args.jobs)
     else:
         backend = SerialBackend()
@@ -130,6 +160,15 @@ class ProgressPrinter:
             self.stream.flush()
 
 
+def _write_output(directory: str, name: str, fmt: str, text: str,
+                  status) -> None:
+    path = os.path.join(directory, f"{name}.{FORMAT_EXTENSIONS[fmt]}")
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text if text.endswith("\n") else text + "\n")
+    print(f"[wrote {path}]", file=status)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     spec = make_spec(args)
@@ -141,31 +180,82 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"{args.cache_dir!r}: {error}", file=sys.stderr)
         return 2
     previous = set_engine(engine)
-    names = sorted(EXHIBITS) if args.exhibit == "all" else [args.exhibit]
+    names = (sorted(exhibit_names()) if args.exhibit == "all"
+             else [args.exhibit])
+    single = len(names) == 1
+    fmt = args.format
+    # In machine-readable formats stdout carries *only* the payload, so
+    # stats and bookkeeping move to stderr.
+    status = sys.stdout if fmt == "text" else sys.stderr
     try:
-        for name in names:
-            driver = EXHIBITS[name]
-            progress = None
-            if not args.no_progress:
-                progress = ProgressPrinter(name)
-                engine.progress = progress
-            before = engine.counters.snapshot()
-            started = time.time()
-            result = driver(config=config, spec=spec,
-                            classes=args.classes,
-                            workloads_per_class=args.workloads_per_class,
-                            engine=engine)
-            elapsed = time.time() - started
-            if progress is not None:
-                progress.finish()
-                engine.progress = None
-            delta = engine.counters.since(before)
-            print(result.render())
-            print(f"[{name} regenerated in {elapsed:.1f}s | "
-                  f"simulated={delta.simulated}, "
-                  f"cache_hits={delta.store_hits}, "
-                  f"reused={delta.memo_hits}]")
-            print()
+        ctx = ExhibitContext.make(config, spec, args.classes,
+                                  args.workloads_per_class)
+        campaign = Campaign(names, ctx=ctx, engine=engine)
+
+        progress = None
+        if not args.no_progress:
+            progress = ProgressPrinter(names[0] if single else "campaign")
+        started = time.time()
+        before = engine.counters.snapshot()
+        batch = campaign.plan()
+        index = engine.run_index(batch, progress=progress)
+        if progress is not None:
+            progress.finish()
+        batch_delta = engine.counters.since(before)
+        batch_elapsed = time.time() - started
+
+        results = {}
+        assemble_elapsed = {}
+        for ex in campaign.exhibits:
+            t0 = time.time()
+            results[ex.name] = ex.assemble(ctx, index)
+            assemble_elapsed[ex.name] = time.time() - t0
+
+        # Write --output files before emitting to stdout: a downstream
+        # consumer closing the pipe early must not cost the files.
+        if args.output:
+            for name in names:
+                _write_output(args.output, name, fmt,
+                              results[name].render(fmt), status)
+
+        if not single:
+            print(f"[campaign: {len(names)} exhibits -> {len(batch)} "
+                  f"unique cells in one batch | "
+                  f"simulated={batch_delta.simulated}, "
+                  f"cache_hits={batch_delta.store_hits}, "
+                  f"reused={batch_delta.memo_hits} | "
+                  f"{batch_elapsed:.1f}s]", file=status)
+
+        if fmt == "json" and not single:
+            document = {name: results[name].to_dict() for name in names}
+            print(json.dumps(document, indent=2, sort_keys=True))
+        elif fmt == "csv" and not single:
+            print("\n".join(results[name].render("csv")
+                            for name in names), end="")
+        else:
+            for name in names:
+                result = results[name]
+                text = result.render(fmt)
+                print(text, end="" if text.endswith("\n") else "\n")
+                if single:
+                    elapsed = batch_elapsed + assemble_elapsed[name]
+                    print(f"[{name} regenerated in {elapsed:.1f}s | "
+                          f"simulated={batch_delta.simulated}, "
+                          f"cache_hits={batch_delta.store_hits}, "
+                          f"reused={batch_delta.memo_hits}]", file=status)
+                else:
+                    print(f"[{name} assembled in "
+                          f"{assemble_elapsed[name]:.2f}s from the "
+                          f"shared batch]", file=status)
+                if fmt == "text":
+                    print()
+
+    except BrokenPipeError:
+        # Downstream consumer (head, jq -e, ...) closed stdout early;
+        # that is its prerogative, not an error worth a traceback.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
     finally:
         set_engine(previous)
     return 0

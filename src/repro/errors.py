@@ -43,6 +43,14 @@ class UnknownPolicyError(ReproError):
         self.name = name
 
 
+class UnknownExhibitError(ReproError):
+    """An exhibit name has no registered driver."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown exhibit: {name!r}")
+        self.name = name
+
+
 class SimulationError(ReproError):
     """The simulator reached an impossible state (internal invariant broken)."""
 

@@ -1,16 +1,24 @@
-"""Experiment drivers: one module per paper exhibit.
+"""Experiment drivers: one declarative exhibit per paper table/figure.
 
-Each module exposes ``run(...)`` returning an :class:`ExhibitResult` whose
-``render()`` prints the same rows/series the paper reports.  Every driver
-accepts an ``engine`` argument (defaulting to the process-wide
-:func:`repro.sim.engine.get_engine`) and submits its simulation cells in
-batches, so a parallel backend overlaps a whole campaign and a result
-store shares runs across drivers — e.g. Figure 3's ED² numbers reuse the
-very runs Figures 1 and 2 measured, exactly like the paper's single
-simulation campaign — and, with a disk store, across invocations.
+Each module defines an :class:`~.common.Exhibit` subclass registered via
+the :func:`~.registry.exhibit` decorator.  Exhibits are two pure phases:
+``plan(ctx)`` declares every simulation cell up front, ``assemble(ctx,
+runs)`` turns the memoized runs into an :class:`~.common.ExhibitResult`
+with structured sections (renderable as text, JSON or CSV).
+
+A :class:`~.common.Campaign` unions any set of exhibits' planned cells
+into one deduplicated, cost-ordered engine batch — e.g. Figure 3's ED²
+numbers reuse the very runs Figures 1 and 2 measured, exactly like the
+paper's single simulation campaign — and, with a disk store, runs are
+shared across invocations too.
+
+Each module also keeps an imperative ``run(...)`` wrapper (re-exported
+below under the exhibit's name) that executes a single-exhibit campaign.
 """
 
-from .common import ExhibitResult, bench_spec, bench_workloads_per_class
+from .common import (Campaign, Exhibit, ExhibitContext, ExhibitResult,
+                     ExhibitSection, bench_spec, bench_workloads_per_class)
+from .registry import all_exhibits, exhibit_names, get_exhibit
 from .table1 import run as table1
 from .table2 import run as table2
 from .figure1 import run as figure1
@@ -20,6 +28,8 @@ from .figure4 import run as figure4
 from .figure5 import run as figure5
 from .figure6 import run as figure6
 
+#: Imperative driver per exhibit name (kept for API compatibility; new
+#: code should go through the registry / Campaign).
 EXHIBITS = {
     "table1": table1,
     "table2": table2,
@@ -32,9 +42,16 @@ EXHIBITS = {
 }
 
 __all__ = [
+    "Campaign",
+    "Exhibit",
+    "ExhibitContext",
     "ExhibitResult",
+    "ExhibitSection",
     "bench_spec",
     "bench_workloads_per_class",
+    "all_exhibits",
+    "exhibit_names",
+    "get_exhibit",
     "EXHIBITS",
     "table1",
     "table2",

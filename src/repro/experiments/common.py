@@ -1,12 +1,38 @@
-"""Shared pieces of the experiment drivers."""
+"""The declarative exhibit API and shared pieces of the drivers.
+
+An exhibit (one of the paper's tables or figures) is described in two
+pure phases, mirroring the paper's methodology of one simulation
+campaign sliced many ways:
+
+* :meth:`Exhibit.plan` declares, up front, every simulation cell the
+  exhibit's numbers derive from — a plain ``list[SweepCell]`` value that
+  can be unioned, deduplicated, hashed and shipped;
+* :meth:`Exhibit.assemble` consumes the memoized runs of those cells
+  (a :class:`~repro.sim.engine.RunIndex`) and produces an
+  :class:`ExhibitResult` with structured sections.
+
+A :class:`Campaign` unions the planned cells of any set of exhibits into
+**one** deduplicated, cost-ordered batch for the simulation engine, so
+``repro all`` drains the worker pool exactly once and shared cells (the
+ICOUNT baselines, RaT runs, single-thread fairness references) are
+simulated once no matter how many exhibits slice them.
+
+Exhibits register under a CLI name via the :func:`~.registry.exhibit`
+decorator (mirroring ``policies/registry.py``); see ``figure1.py`` for
+the canonical example.
+"""
 
 from __future__ import annotations
 
+import csv
 import dataclasses
+import io
+import json
 import os
-from typing import Callable, Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..config import SMTConfig, baseline
+from ..sim.engine import RunIndex, SweepCell
 from ..sim.runner import RunSpec, default_spec
 from ..trace.workloads import WORKLOAD_CLASSES
 
@@ -22,6 +48,9 @@ ENERGY_POLICIES = ("stall", "flush", "dcra", "hill", "rat")
 #: Environment variable limiting workloads per class (benchmark harness
 #: uses this to keep wall-clock sane; unset = the full Table 2 set).
 BENCH_WORKLOADS_ENV = "REPRO_BENCH_WORKLOADS"
+
+#: Renderings every exhibit supports.
+RENDER_FORMATS = ("text", "json", "csv")
 
 
 def bench_workloads_per_class(default: Optional[int] = None) -> Optional[int]:
@@ -41,30 +70,143 @@ def bench_spec() -> RunSpec:
     return default_spec()
 
 
+@dataclasses.dataclass(frozen=True)
+class ExhibitContext:
+    """Everything an exhibit's plan/assemble phases may depend on.
+
+    Both phases are pure functions of this context (plus, for assemble,
+    the planned cells' runs), which is what makes planned cell sets
+    deterministic, hashable and therefore cacheable.
+    """
+
+    config: SMTConfig
+    spec: RunSpec
+    classes: Tuple[str, ...]
+    workloads_per_class: Optional[int] = None
+
+    @classmethod
+    def make(cls, config: Optional[SMTConfig] = None,
+             spec: Optional[RunSpec] = None,
+             classes: Optional[Sequence[str]] = None,
+             workloads_per_class: Optional[int] = None) -> "ExhibitContext":
+        """Fill in the experiment defaults."""
+        return cls(config=config if config is not None else baseline(),
+                   spec=spec if spec is not None else default_spec(),
+                   classes=tuple(classes) if classes else WORKLOAD_CLASSES,
+                   workloads_per_class=workloads_per_class)
+
+
+@dataclasses.dataclass
+class ExhibitSection:
+    """One table of an exhibit: headers, rows, optional title and note."""
+
+    headers: Tuple[str, ...]
+    rows: List[List[object]]
+    title: str = ""
+    note: str = ""
+
+    def render_text(self) -> str:
+        from .report import ascii_table
+        text = ascii_table(self.headers, self.rows, title=self.title)
+        if self.note:
+            text += "\n" + self.note
+        return text
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "note": self.note,
+        }
+
+
 @dataclasses.dataclass
 class ExhibitResult:
-    """Outcome of one experiment driver."""
+    """Outcome of one exhibit: structured sections plus raw data.
+
+    ``sections`` drive every rendering; ``data`` holds the rich
+    in-process values (sweeps, aggregates) programmatic callers slice,
+    and ``payload`` is the JSON-safe subset exported by :meth:`to_dict`.
+    """
 
     exhibit: str
     title: str
-    data: Dict
-    _renderer: Callable[["ExhibitResult"], str] = dataclasses.field(
-        repr=False, default=None)  # type: ignore[assignment]
+    sections: List[ExhibitSection] = dataclasses.field(default_factory=list)
+    data: Dict = dataclasses.field(default_factory=dict, repr=False)
+    payload: Dict = dataclasses.field(default_factory=dict, repr=False)
 
-    def render(self) -> str:
-        """Plain-text reproduction of the paper's table/figure."""
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form: identity, data payload, and every section."""
+        return {
+            "exhibit": self.exhibit,
+            "title": self.title,
+            "data": self.payload,
+            "sections": [section.to_dict() for section in self.sections],
+        }
+
+    def render(self, fmt: str = "text") -> str:
+        """Render as ``text`` (the paper's ASCII tables), ``json`` or
+        ``csv``."""
+        if fmt == "text":
+            return self.render_text()
+        if fmt == "json":
+            return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+        if fmt == "csv":
+            return self.render_csv()
+        raise ValueError(f"unknown exhibit format {fmt!r}; "
+                         f"expected one of {RENDER_FORMATS}")
+
+    def render_text(self) -> str:
         header = f"== {self.exhibit}: {self.title} =="
-        body = self._renderer(self) if self._renderer else str(self.data)
+        body = "\n\n".join(section.render_text()
+                           for section in self.sections)
         return f"{header}\n{body}"
 
+    def render_csv(self) -> str:
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        for index, section in enumerate(self.sections):
+            if index:
+                writer.writerow([])
+            writer.writerow([f"# {self.exhibit}: "
+                             f"{section.title or self.title}"])
+            writer.writerow(section.headers)
+            writer.writerows(section.rows)
+            if section.note:
+                writer.writerow([f"# {section.note}"])
+        return buffer.getvalue()
 
-def resolve(config: Optional[SMTConfig],
-            spec: Optional[RunSpec],
-            classes: Optional[Sequence[str]]):
-    """Fill in experiment defaults."""
-    return (config or baseline(),
-            spec or default_spec(),
-            tuple(classes) if classes else WORKLOAD_CLASSES)
+
+class Exhibit:
+    """Base class of the declarative two-phase exhibit API.
+
+    Subclasses implement :meth:`plan` and :meth:`assemble`; both must be
+    pure functions of their arguments so a planned cell set can serve as
+    a cache key for the assembled exhibit.  The :func:`~.registry.exhibit`
+    decorator fills in ``name``/``title`` and registers an instance.
+    """
+
+    name: str = ""
+    title: str = ""
+
+    def plan(self, ctx: ExhibitContext) -> List[SweepCell]:
+        """Declare every simulation cell this exhibit derives from."""
+        raise NotImplementedError
+
+    def assemble(self, ctx: ExhibitContext, runs: RunIndex) -> ExhibitResult:
+        """Build the exhibit from the planned cells' memoized runs."""
+        raise NotImplementedError
+
+    def run(self, config: Optional[SMTConfig] = None,
+            spec: Optional[RunSpec] = None,
+            classes: Optional[Sequence[str]] = None,
+            workloads_per_class: Optional[int] = None,
+            engine=None) -> ExhibitResult:
+        """Plan and assemble this one exhibit (a single-exhibit campaign)."""
+        ctx = ExhibitContext.make(config, spec, classes, workloads_per_class)
+        campaign = Campaign([self], ctx=ctx, engine=engine)
+        return self.assemble(ctx, campaign.execute())
 
 
 def resolve_engine(engine):
@@ -79,3 +221,75 @@ def class_workloads(klass: str, workloads_per_class: Optional[int]):
     """One class's Table 2 workloads, optionally capped."""
     from ..trace.workloads import get_workloads
     return get_workloads(klass, limit=workloads_per_class)
+
+
+def cell_cost(cell: SweepCell) -> Tuple[int, int]:
+    """Estimated relative simulation cost of a cell.
+
+    Primary weight is thread-count x trace-length (the work the pipeline
+    chews through); ties break toward memory-bound benchmarks, whose
+    400-cycle misses make them the slowest cells of a campaign.
+    """
+    from ..trace.profiles import get_profile
+    mem_threads = sum(1 for name in cell.workload.benchmarks
+                      if get_profile(name).is_mem)
+    return (cell.workload.num_threads * cell.spec.trace_len, mem_threads)
+
+
+def order_cells_by_cost(cells: Sequence[SweepCell]) -> List[SweepCell]:
+    """Costliest-first, stable order — so a parallel pool starts the slow
+    4-thread MEM cells immediately and drains evenly."""
+    return sorted(cells, key=cell_cost, reverse=True)
+
+
+class Campaign:
+    """One deduplicated simulation batch serving any set of exhibits.
+
+    The campaign unions every requested exhibit's planned cells, drops
+    duplicates (by content-addressed cell key), orders the remainder
+    costliest-first and submits them to the engine as a single
+    ``run_cells`` batch.  Each exhibit is then assembled from the shared
+    :class:`~repro.sim.engine.RunIndex` — no further simulation.
+    """
+
+    def __init__(self, exhibits: Sequence[Union[str, Exhibit]],
+                 ctx: Optional[ExhibitContext] = None,
+                 engine=None) -> None:
+        from .registry import get_exhibit
+        self.exhibits: List[Exhibit] = [
+            get_exhibit(item) if isinstance(item, str) else item
+            for item in exhibits
+        ]
+        self.ctx = ctx if ctx is not None else ExhibitContext.make()
+        self.engine = resolve_engine(engine)
+        self._plans: Optional[Dict[str, List[SweepCell]]] = None
+
+    def plans(self) -> Dict[str, List[SweepCell]]:
+        """Each exhibit's declared cells, keyed by exhibit name."""
+        if self._plans is None:
+            self._plans = {ex.name: ex.plan(self.ctx)
+                           for ex in self.exhibits}
+        return self._plans
+
+    def plan(self) -> List[SweepCell]:
+        """The union of every exhibit's cells: deduplicated, cost-ordered."""
+        unique: Dict[str, SweepCell] = {}
+        for cells in self.plans().values():
+            for cell in cells:
+                unique.setdefault(cell.key(), cell)
+        return order_cells_by_cost(unique.values())
+
+    def execute(self, progress=None) -> RunIndex:
+        """Simulate the single unified batch; returns the run index."""
+        batch = self.plan()
+        runs = self.engine.run_cells(batch, progress=progress)
+        return RunIndex.from_runs(batch, runs)
+
+    def assemble(self, runs: RunIndex) -> Dict[str, ExhibitResult]:
+        """Assemble every exhibit from an executed batch's runs."""
+        return {ex.name: ex.assemble(self.ctx, runs)
+                for ex in self.exhibits}
+
+    def run(self, progress=None) -> Dict[str, ExhibitResult]:
+        """Plan, execute and assemble in one call."""
+        return self.assemble(self.execute(progress=progress))

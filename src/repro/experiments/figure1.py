@@ -6,13 +6,14 @@ classes — the paper's headline comparison (§5.1).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List
 
-from ..config import SMTConfig
-from ..sim.runner import RunSpec
-from ..sim.sweep import sweep_policies
-from .common import ExhibitResult, FETCH_POLICIES, resolve
-from .report import ascii_table
+from ..sim.engine import RunIndex, SweepCell
+from ..sim.sweep import (PolicySweep, assemble_policy_sweep,
+                         plan_policy_sweep)
+from .common import (Exhibit, ExhibitContext, ExhibitResult, ExhibitSection,
+                     FETCH_POLICIES)
+from .registry import exhibit
 
 
 def _sweep_tables(policies, classes, sweep):
@@ -29,47 +30,66 @@ def _sweep_tables(policies, classes, sweep):
     return throughput_rows, fairness_rows
 
 
-def _render_sweep(result: ExhibitResult) -> str:
-    classes = result.data["classes"]
-    headers = ("Policy",) + tuple(classes)
-    parts = [ascii_table(headers, result.data["throughput"],
-                         title="(a) Throughput (IPC)")]
-    parts.append("")
-    parts.append(ascii_table(headers, result.data["fairness"],
-                             title="(b) Fairness (hmean of speedups)"))
-    relatives = result.data["relative_throughput"]
-    parts.append("")
-    parts.append(ascii_table(
-        ("Policy",) + tuple(classes),
-        relatives, title="Throughput relative to ICOUNT"))
-    return "\n".join(parts)
+class SweepExhibit(Exhibit):
+    """Shared shape of Figures 1 and 2: one policy sweep, three tables."""
 
+    policies: tuple = ()
+    #: Human-facing exhibit label ("Figure 1"); set by subclasses.
+    exhibit_label = ""
 
-def run(config: Optional[SMTConfig] = None,
-        spec: Optional[RunSpec] = None,
-        classes: Optional[Sequence[str]] = None,
-        workloads_per_class: Optional[int] = None,
-        engine=None) -> ExhibitResult:
-    config, spec, classes = resolve(config, spec, classes)
-    sweep = sweep_policies(FETCH_POLICIES, classes, config, spec,
-                           workloads_per_class, engine=engine)
-    throughput_rows, fairness_rows = _sweep_tables(FETCH_POLICIES, classes,
-                                                   sweep)
-    relative = [
-        [policy] + sweep.relative(policy, "icount", "throughput")
-        for policy in FETCH_POLICIES
-    ]
-    return ExhibitResult(
-        exhibit="Figure 1",
-        title="Throughput and fairness for I-Fetch policies "
-              "(ICOUNT / STALL / FLUSH / RaT)",
-        data={
+    def plan(self, ctx: ExhibitContext) -> List[SweepCell]:
+        return plan_policy_sweep(self.policies, ctx.classes, ctx.config,
+                                 ctx.spec, ctx.workloads_per_class)
+
+    def sweep(self, ctx: ExhibitContext, runs: RunIndex) -> PolicySweep:
+        return assemble_policy_sweep(self.policies, ctx.classes, runs,
+                                     ctx.config, ctx.spec,
+                                     ctx.workloads_per_class)
+
+    def assemble(self, ctx: ExhibitContext, runs: RunIndex) -> ExhibitResult:
+        sweep = self.sweep(ctx, runs)
+        classes = ctx.classes
+        throughput_rows, fairness_rows = _sweep_tables(self.policies,
+                                                       classes, sweep)
+        relative = [
+            [policy] + sweep.relative(policy, "icount", "throughput")
+            for policy in self.policies
+        ]
+        headers = ("Policy",) + tuple(classes)
+        sections = [
+            ExhibitSection(headers, throughput_rows,
+                           title="(a) Throughput (IPC)"),
+            ExhibitSection(headers, fairness_rows,
+                           title="(b) Fairness (hmean of speedups)"),
+            ExhibitSection(headers, relative,
+                           title="Throughput relative to ICOUNT"),
+        ]
+        payload = {
             "classes": list(classes),
-            "policies": list(FETCH_POLICIES),
+            "policies": list(self.policies),
             "throughput": throughput_rows,
             "fairness": fairness_rows,
             "relative_throughput": relative,
-            "sweep": sweep,
-        },
-        _renderer=_render_sweep,
-    )
+        }
+        return ExhibitResult(
+            exhibit=self.exhibit_label,
+            title=self.title,
+            sections=sections,
+            data=dict(payload, sweep=sweep),
+            payload=payload,
+        )
+
+
+@exhibit("figure1", title="Throughput and fairness for I-Fetch policies "
+                          "(ICOUNT / STALL / FLUSH / RaT)")
+class Figure1(SweepExhibit):
+    policies = FETCH_POLICIES
+    exhibit_label = "Figure 1"
+
+
+def run(config=None, spec=None, classes=None, workloads_per_class=None,
+        engine=None) -> ExhibitResult:
+    """Imperative one-shot driver (a single-exhibit campaign)."""
+    from .registry import get_exhibit
+    return get_exhibit("figure1").run(config, spec, classes,
+                                      workloads_per_class, engine)

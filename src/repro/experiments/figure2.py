@@ -6,40 +6,21 @@ RaT over the six workload classes (§5.2).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
-
-from ..config import SMTConfig
-from ..sim.runner import RunSpec
-from ..sim.sweep import sweep_policies
-from .common import ExhibitResult, RESOURCE_POLICIES, resolve
-from .figure1 import _render_sweep, _sweep_tables
+from .common import ExhibitResult, RESOURCE_POLICIES
+from .figure1 import SweepExhibit
+from .registry import exhibit
 
 
-def run(config: Optional[SMTConfig] = None,
-        spec: Optional[RunSpec] = None,
-        classes: Optional[Sequence[str]] = None,
-        workloads_per_class: Optional[int] = None,
+@exhibit("figure2", title="Throughput and fairness for resource control "
+                          "policies (ICOUNT / DCRA / HillClimbing / RaT)")
+class Figure2(SweepExhibit):
+    policies = RESOURCE_POLICIES
+    exhibit_label = "Figure 2"
+
+
+def run(config=None, spec=None, classes=None, workloads_per_class=None,
         engine=None) -> ExhibitResult:
-    config, spec, classes = resolve(config, spec, classes)
-    sweep = sweep_policies(RESOURCE_POLICIES, classes, config, spec,
-                           workloads_per_class, engine=engine)
-    throughput_rows, fairness_rows = _sweep_tables(RESOURCE_POLICIES,
-                                                   classes, sweep)
-    relative = [
-        [policy] + sweep.relative(policy, "icount", "throughput")
-        for policy in RESOURCE_POLICIES
-    ]
-    return ExhibitResult(
-        exhibit="Figure 2",
-        title="Throughput and fairness for resource control policies "
-              "(ICOUNT / DCRA / HillClimbing / RaT)",
-        data={
-            "classes": list(classes),
-            "policies": list(RESOURCE_POLICIES),
-            "throughput": throughput_rows,
-            "fairness": fairness_rows,
-            "relative_throughput": relative,
-            "sweep": sweep,
-        },
-        _renderer=_render_sweep,
-    )
+    """Imperative one-shot driver (a single-exhibit campaign)."""
+    from .registry import get_exhibit
+    return get_exhibit("figure2").run(config, spec, classes,
+                                      workloads_per_class, engine)

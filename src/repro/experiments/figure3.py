@@ -7,51 +7,62 @@ approximation.  Bars below 1.0 beat the ICOUNT baseline.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, List
 
-from ..config import SMTConfig
-from ..sim.runner import RunSpec
-from ..sim.sweep import sweep_policies
-from .common import ENERGY_POLICIES, ExhibitResult, resolve
-from .report import ascii_table
+from ..sim.engine import RunIndex, SweepCell
+from ..sim.sweep import assemble_policy_sweep, plan_policy_sweep
+from .common import (ENERGY_POLICIES, Exhibit, ExhibitContext,
+                     ExhibitResult, ExhibitSection)
+from .registry import exhibit
 
 
-def run(config: Optional[SMTConfig] = None,
-        spec: Optional[RunSpec] = None,
-        classes: Optional[Sequence[str]] = None,
-        workloads_per_class: Optional[int] = None,
-        engine=None) -> ExhibitResult:
-    config, spec, classes = resolve(config, spec, classes)
+@exhibit("figure3", title="Energy-Delay^2 relative to ICOUNT")
+class Figure3(Exhibit):
+
+    #: ICOUNT supplies the normalization baseline, so it is swept too.
     policies = ("icount",) + ENERGY_POLICIES
-    sweep = sweep_policies(policies, classes, config, spec,
-                           workloads_per_class, engine=engine)
 
-    normalized: Dict[str, Dict[str, float]] = {}
-    for policy in ENERGY_POLICIES:
-        normalized[policy] = {}
-        for klass in classes:
-            baseline_ed2 = sweep.metric("icount", klass, "ed2")
-            own = sweep.metric(policy, klass, "ed2")
-            normalized[policy][klass] = (own / baseline_ed2
-                                         if baseline_ed2 else float("inf"))
+    def plan(self, ctx: ExhibitContext) -> List[SweepCell]:
+        return plan_policy_sweep(self.policies, ctx.classes, ctx.config,
+                                 ctx.spec, ctx.workloads_per_class)
 
-    rows = [
-        [policy] + [normalized[policy][klass] for klass in classes]
-        + [sum(normalized[policy][klass] for klass in classes)
-           / len(classes)]
-        for policy in ENERGY_POLICIES
-    ]
+    def assemble(self, ctx: ExhibitContext, runs: RunIndex) -> ExhibitResult:
+        classes = ctx.classes
+        sweep = assemble_policy_sweep(self.policies, classes, runs,
+                                      ctx.config, ctx.spec,
+                                      ctx.workloads_per_class)
+        normalized: Dict[str, Dict[str, float]] = {}
+        for policy in ENERGY_POLICIES:
+            normalized[policy] = {}
+            for klass in classes:
+                baseline_ed2 = sweep.metric("icount", klass, "ed2")
+                own = sweep.metric(policy, klass, "ed2")
+                normalized[policy][klass] = (own / baseline_ed2
+                                             if baseline_ed2
+                                             else float("inf"))
 
-    def _render(result: ExhibitResult) -> str:
-        headers = ("Policy",) + tuple(result.data["classes"]) + ("avg",)
-        return ascii_table(
-            headers, result.data["rows"],
-            title="ED^2 normalized to ICOUNT (lower is better)")
+        rows = [
+            [policy] + [normalized[policy][klass] for klass in classes]
+            + [sum(normalized[policy][klass] for klass in classes)
+               / len(classes)]
+            for policy in ENERGY_POLICIES
+        ]
+        payload = {"classes": list(classes), "rows": rows,
+                   "normalized": normalized}
+        return ExhibitResult(
+            exhibit="Figure 3",
+            title=self.title,
+            sections=[ExhibitSection(
+                ("Policy",) + tuple(classes) + ("avg",), rows,
+                title="ED^2 normalized to ICOUNT (lower is better)")],
+            data=dict(payload, sweep=sweep),
+            payload=payload,
+        )
 
-    return ExhibitResult(
-        exhibit="Figure 3",
-        title="Energy-Delay^2 relative to ICOUNT",
-        data={"classes": list(classes), "rows": rows,
-              "normalized": normalized, "sweep": sweep},
-        _renderer=_render,
-    )
+
+def run(config=None, spec=None, classes=None, workloads_per_class=None,
+        engine=None) -> ExhibitResult:
+    """Imperative one-shot driver (a single-exhibit campaign)."""
+    from .registry import get_exhibit
+    return get_exhibit("figure3").run(config, spec, classes,
+                                      workloads_per_class, engine)

@@ -20,33 +20,34 @@ Three experiments isolate where the benefit comes from:
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Tuple
 
 from ..config import SMTConfig
-from ..sim.engine import SweepCell
+from ..sim.engine import RunIndex, SweepCell
 from ..sim.runner import RunSpec
-from .common import ExhibitResult, class_workloads, resolve, resolve_engine
-from .report import ascii_table
+from .common import (Exhibit, ExhibitContext, ExhibitResult, ExhibitSection,
+                     class_workloads)
+from .registry import exhibit
 
 
-def _class_throughput(engine, klass: str, policy: str, config: SMTConfig,
-                      spec: RunSpec,
+def _class_throughput(runs: RunIndex, klass: str, policy: str,
+                      config: SMTConfig, spec: RunSpec,
                       workloads_per_class: Optional[int]) -> float:
     workloads = class_workloads(klass, workloads_per_class)
-    values = [engine.run_workload(w, policy, config, spec).throughput
+    values = [runs[SweepCell.make(w, policy, config, spec)].throughput
               for w in workloads]
     return sum(values) / len(values)
 
 
-def _overhead(engine, klass: str, rat_noprefetch: SMTConfig,
+def _overhead(runs: RunIndex, klass: str, rat_noprefetch: SMTConfig,
               config: SMTConfig, spec: RunSpec,
               workloads_per_class: Optional[int]) -> float:
     """Mean co-runner degradation under useless runahead vs STALL."""
     workloads = class_workloads(klass, workloads_per_class)
     degradations: List[float] = []
     for workload in workloads:
-        noisy = engine.run_workload(workload, "rat", rat_noprefetch, spec)
-        quiet = engine.run_workload(workload, "stall", config, spec)
+        noisy = runs[SweepCell.make(workload, "rat", rat_noprefetch, spec)]
+        quiet = runs[SweepCell.make(workload, "stall", config, spec)]
         episodes = [stats.runahead_episodes
                     for stats in noisy.result.thread_stats]
         for tid in range(workload.num_threads):
@@ -68,73 +69,84 @@ class _Sources:
     overhead: float
 
 
-def run(config: Optional[SMTConfig] = None,
-        spec: Optional[RunSpec] = None,
-        classes: Optional[Sequence[str]] = None,
-        workloads_per_class: Optional[int] = None,
-        engine=None) -> ExhibitResult:
-    config, spec, classes = resolve(config, spec, classes)
-    engine = resolve_engine(engine)
+def _variants(config: SMTConfig) -> Tuple[Tuple[str, SMTConfig], ...]:
     no_prefetch = dataclasses.replace(config, policy="rat",
                                       rat_prefetch=False)
     stop_fetch = dataclasses.replace(config, policy="rat",
                                      rat_stop_fetch_in_runahead=True)
+    return (("rat", config), ("rat", no_prefetch), ("rat", stop_fetch),
+            ("icount", config), ("stall", config))
 
-    # Submit every variant's cells in one batch so a parallel backend
-    # overlaps the whole ablation campaign; the helpers below then read
-    # the memoized runs back cell by cell.
-    variants = (("rat", config), ("rat", no_prefetch),
-                ("rat", stop_fetch), ("icount", config),
-                ("stall", config))
-    cells = [SweepCell.make(workload, policy, cfg, spec)
-             for klass in classes
-             for workload in class_workloads(klass, workloads_per_class)
-             for policy, cfg in variants]
-    engine.run_cells(cells)
 
-    per_class: Dict[str, _Sources] = {}
-    for klass in classes:
-        rat = _class_throughput(engine, klass, "rat", config, spec,
-                                workloads_per_class)
-        rat_nopf = _class_throughput(engine, klass, "rat", no_prefetch,
-                                     spec, workloads_per_class)
-        rat_stop = _class_throughput(engine, klass, "rat", stop_fetch,
-                                     spec, workloads_per_class)
-        icount = _class_throughput(engine, klass, "icount", config, spec,
-                                   workloads_per_class)
-        per_class[klass] = _Sources(
-            prefetching=(rat / rat_nopf - 1.0) if rat_nopf else 0.0,
-            resource_availability=(rat_stop / icount - 1.0) if icount
-            else 0.0,
-            overhead=_overhead(engine, klass, no_prefetch, config, spec,
-                               workloads_per_class),
+@exhibit("figure4", title="Sources of improvement of RaT")
+class Figure4(Exhibit):
+
+    def plan(self, ctx: ExhibitContext) -> List[SweepCell]:
+        return [SweepCell.make(workload, policy, cfg, ctx.spec)
+                for klass in ctx.classes
+                for workload in class_workloads(klass,
+                                                ctx.workloads_per_class)
+                for policy, cfg in _variants(ctx.config)]
+
+    def assemble(self, ctx: ExhibitContext, runs: RunIndex) -> ExhibitResult:
+        config, spec, classes = ctx.config, ctx.spec, ctx.classes
+        wpc = ctx.workloads_per_class
+        (_, no_prefetch), (_, stop_fetch) = _variants(config)[1:3]
+
+        per_class: Dict[str, _Sources] = {}
+        for klass in classes:
+            rat = _class_throughput(runs, klass, "rat", config, spec, wpc)
+            rat_nopf = _class_throughput(runs, klass, "rat", no_prefetch,
+                                         spec, wpc)
+            rat_stop = _class_throughput(runs, klass, "rat", stop_fetch,
+                                         spec, wpc)
+            icount = _class_throughput(runs, klass, "icount", config,
+                                       spec, wpc)
+            per_class[klass] = _Sources(
+                prefetching=(rat / rat_nopf - 1.0) if rat_nopf else 0.0,
+                resource_availability=(rat_stop / icount - 1.0) if icount
+                else 0.0,
+                overhead=_overhead(runs, klass, no_prefetch, config, spec,
+                                   wpc),
+            )
+
+        rows = [
+            [klass,
+             per_class[klass].prefetching * 100.0,
+             per_class[klass].resource_availability * 100.0,
+             per_class[klass].overhead * 100.0]
+            for klass in classes
+        ]
+        averages = ["average"] + [
+            sum(getattr(per_class[klass], field) for klass in classes)
+            / len(classes) * 100.0
+            for field in ("prefetching", "resource_availability",
+                          "overhead")
+        ]
+        rows.append(averages)
+
+        payload = {
+            "classes": list(classes),
+            "rows": rows,
+            "per_class": {klass: dataclasses.asdict(per_class[klass])
+                          for klass in classes},
+        }
+        return ExhibitResult(
+            exhibit="Figure 4",
+            title=self.title,
+            sections=[ExhibitSection(
+                ("Workloads", "Prefetching %", "Resource avail. %",
+                 "Overhead %"), rows,
+                title="Sources of improvement of RaT (percent)")],
+            data={"classes": list(classes), "rows": rows,
+                  "per_class": per_class},
+            payload=payload,
         )
 
-    rows = [
-        [klass,
-         per_class[klass].prefetching * 100.0,
-         per_class[klass].resource_availability * 100.0,
-         per_class[klass].overhead * 100.0]
-        for klass in classes
-    ]
-    averages = ["average"] + [
-        sum(getattr(per_class[klass], field) for klass in classes)
-        / len(classes) * 100.0
-        for field in ("prefetching", "resource_availability", "overhead")
-    ]
-    rows.append(averages)
 
-    def _render(result: ExhibitResult) -> str:
-        return ascii_table(
-            ("Workloads", "Prefetching %", "Resource avail. %",
-             "Overhead %"),
-            result.data["rows"],
-            title="Sources of improvement of RaT (percent)")
-
-    return ExhibitResult(
-        exhibit="Figure 4",
-        title="Sources of improvement of RaT",
-        data={"classes": list(classes), "rows": rows,
-              "per_class": per_class},
-        _renderer=_render,
-    )
+def run(config=None, spec=None, classes=None, workloads_per_class=None,
+        engine=None) -> ExhibitResult:
+    """Imperative one-shot driver (a single-exhibit campaign)."""
+    from .registry import get_exhibit
+    return get_exhibit("figure4").run(config, spec, classes,
+                                      workloads_per_class, engine)

@@ -9,16 +9,17 @@ half), which is what later justifies shrinking the register file
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..config import SMTConfig
-from ..sim.engine import SweepCell
+from ..sim.engine import RunIndex, SweepCell
 from ..sim.runner import RunSpec
-from .common import ExhibitResult, class_workloads, resolve, resolve_engine
-from .report import ascii_table
+from .common import (Exhibit, ExhibitContext, ExhibitResult, ExhibitSection,
+                     class_workloads)
+from .registry import exhibit
 
 
-def _class_register_usage(engine, klass: str, config: SMTConfig,
+def _class_register_usage(runs: RunIndex, klass: str, config: SMTConfig,
                           spec: RunSpec,
                           workloads_per_class: Optional[int]
                           ) -> Tuple[float, float]:
@@ -27,7 +28,7 @@ def _class_register_usage(engine, klass: str, config: SMTConfig,
     normal_values = []
     runahead_values = []
     for workload in workloads:
-        run = engine.run_workload(workload, "rat", config, spec)
+        run = runs[SweepCell.make(workload, "rat", config, spec)]
         for stats in run.result.thread_stats:
             # Compare the two modes of the *same* threads: only programs
             # that actually run ahead contribute, otherwise ILP co-runners
@@ -43,39 +44,50 @@ def _class_register_usage(engine, klass: str, config: SMTConfig,
     return normal, runahead
 
 
-def run(config: Optional[SMTConfig] = None,
-        spec: Optional[RunSpec] = None,
-        classes: Optional[Sequence[str]] = None,
-        workloads_per_class: Optional[int] = None,
+@exhibit("figure5", title="Average physical registers used per cycle, "
+                          "normal vs runahead mode")
+class Figure5(Exhibit):
+
+    def plan(self, ctx: ExhibitContext) -> List[SweepCell]:
+        return [SweepCell.make(workload, "rat", ctx.config, ctx.spec)
+                for klass in ctx.classes
+                for workload in class_workloads(klass,
+                                                ctx.workloads_per_class)]
+
+    def assemble(self, ctx: ExhibitContext, runs: RunIndex) -> ExhibitResult:
+        classes = ctx.classes
+        usage: Dict[str, Tuple[float, float]] = {
+            klass: _class_register_usage(runs, klass, ctx.config, ctx.spec,
+                                         ctx.workloads_per_class)
+            for klass in classes
+        }
+        rows = []
+        for klass in classes:
+            normal, runahead = usage[klass]
+            ratio = runahead / normal if normal else 0.0
+            rows.append([klass, normal, runahead, ratio])
+
+        payload = {
+            "classes": list(classes),
+            "rows": rows,
+            "usage": {klass: list(usage[klass]) for klass in classes},
+        }
+        return ExhibitResult(
+            exhibit="Figure 5",
+            title=self.title,
+            sections=[ExhibitSection(
+                ("Workloads", "Normal mode", "Runahead mode", "RA/normal"),
+                rows,
+                title="Average physical registers allocated per cycle "
+                      "(per thread)")],
+            data={"classes": list(classes), "rows": rows, "usage": usage},
+            payload=payload,
+        )
+
+
+def run(config=None, spec=None, classes=None, workloads_per_class=None,
         engine=None) -> ExhibitResult:
-    config, spec, classes = resolve(config, spec, classes)
-    engine = resolve_engine(engine)
-    engine.run_cells([
-        SweepCell.make(workload, "rat", config, spec)
-        for klass in classes
-        for workload in class_workloads(klass, workloads_per_class)])
-    usage: Dict[str, Tuple[float, float]] = {
-        klass: _class_register_usage(engine, klass, config, spec,
-                                     workloads_per_class)
-        for klass in classes
-    }
-    rows = []
-    for klass in classes:
-        normal, runahead = usage[klass]
-        ratio = runahead / normal if normal else 0.0
-        rows.append([klass, normal, runahead, ratio])
-
-    def _render(result: ExhibitResult) -> str:
-        return ascii_table(
-            ("Workloads", "Normal mode", "Runahead mode", "RA/normal"),
-            result.data["rows"],
-            title="Average physical registers allocated per cycle "
-                  "(per thread)")
-
-    return ExhibitResult(
-        exhibit="Figure 5",
-        title="Average physical registers used per cycle, "
-              "normal vs runahead mode",
-        data={"classes": list(classes), "rows": rows, "usage": usage},
-        _renderer=_render,
-    )
+    """Imperative one-shot driver (a single-exhibit campaign)."""
+    from .registry import get_exhibit
+    return get_exhibit("figure5").run(config, spec, classes,
+                                      workloads_per_class, engine)

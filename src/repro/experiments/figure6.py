@@ -14,13 +14,14 @@ all, so requested sizes below ``min_registers_for(n)`` are clamped — the
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..config import SMTConfig, min_registers_for
-from ..sim.engine import SweepCell
+from ..sim.engine import RunIndex, SweepCell
 from ..sim.runner import RunSpec
-from .common import ExhibitResult, class_workloads, resolve, resolve_engine
-from .report import ascii_table
+from .common import (Exhibit, ExhibitContext, ExhibitResult, ExhibitSection,
+                     class_workloads)
+from .registry import exhibit
 
 #: The register-file sizes on the paper's x-axis.
 REGISTER_SIZES = (64, 128, 192, 256, 320)
@@ -41,59 +42,72 @@ def _sized_cell(workload, policy: str, size: int, config: SMTConfig,
     return SweepCell.make(workload, policy, sized, spec)
 
 
-def _class_series(engine, klass: str, policy: str, config: SMTConfig,
-                  spec: RunSpec,
+def _class_series(runs: RunIndex, klass: str, policy: str,
+                  config: SMTConfig, spec: RunSpec,
                   workloads_per_class: Optional[int]) -> List[float]:
     workloads = class_workloads(klass, workloads_per_class)
     series = []
     for size in REGISTER_SIZES:
-        runs = engine.run_cells(
-            [_sized_cell(workload, policy, size, config, spec)
-             for workload in workloads],
-            progress=False)
-        series.append(sum(run.throughput for run in runs) / len(runs))
+        sized = [runs[_sized_cell(workload, policy, size, config, spec)]
+                 for workload in workloads]
+        series.append(sum(run.throughput for run in sized) / len(sized))
     return series
 
 
-def run(config: Optional[SMTConfig] = None,
-        spec: Optional[RunSpec] = None,
-        classes: Optional[Sequence[str]] = None,
-        workloads_per_class: Optional[int] = None,
-        engine=None) -> ExhibitResult:
-    config, spec, classes = resolve(config, spec, classes)
-    engine = resolve_engine(engine)
-    # Whole register-file sweep as one batch for the parallel backend.
-    engine.run_cells([
-        _sized_cell(workload, policy, size, config, spec)
-        for klass in classes
-        for workload in class_workloads(klass, workloads_per_class)
-        for policy in SWEEP_POLICIES
-        for size in REGISTER_SIZES])
-    series: Dict[Tuple[str, str], List[float]] = {}
-    for klass in classes:
-        for policy in SWEEP_POLICIES:
-            series[(klass, policy)] = _class_series(
-                engine, klass, policy, config, spec, workloads_per_class)
+@exhibit("figure6", title="Throughput vs register file size "
+                          "(FLUSH vs RaT)")
+class Figure6(Exhibit):
 
-    rows = []
-    for klass in classes:
-        for policy in SWEEP_POLICIES:
-            rows.append([f"{klass}/{policy}"]
-                        + series[(klass, policy)])
+    def plan(self, ctx: ExhibitContext) -> List[SweepCell]:
+        return [_sized_cell(workload, policy, size, ctx.config, ctx.spec)
+                for klass in ctx.classes
+                for workload in class_workloads(klass,
+                                                ctx.workloads_per_class)
+                for policy in SWEEP_POLICIES
+                for size in REGISTER_SIZES]
 
-    def _render(result: ExhibitResult) -> str:
-        headers = ("Class/Policy",) + tuple(
-            str(size) for size in REGISTER_SIZES)
+    def assemble(self, ctx: ExhibitContext, runs: RunIndex) -> ExhibitResult:
+        classes = ctx.classes
+        series: Dict[Tuple[str, str], List[float]] = {}
+        for klass in classes:
+            for policy in SWEEP_POLICIES:
+                series[(klass, policy)] = _class_series(
+                    runs, klass, policy, ctx.config, ctx.spec,
+                    ctx.workloads_per_class)
+
+        rows = []
+        for klass in classes:
+            for policy in SWEEP_POLICIES:
+                rows.append([f"{klass}/{policy}"]
+                            + series[(klass, policy)])
+
+        payload = {
+            "classes": list(classes),
+            "sizes": list(REGISTER_SIZES),
+            "rows": rows,
+            "series": {f"{klass}/{policy}": values
+                       for (klass, policy), values in series.items()},
+        }
         note = ("Note: sizes below 32*threads+16 are clamped "
                 "(4-thread: 64,128 -> 144; 2-thread: 64 -> 80).")
-        return ascii_table(headers, result.data["rows"],
-                           title="Throughput (IPC) vs register file size"
-                           ) + "\n" + note
+        return ExhibitResult(
+            exhibit="Figure 6",
+            title=self.title,
+            sections=[ExhibitSection(
+                ("Class/Policy",) + tuple(str(size)
+                                          for size in REGISTER_SIZES),
+                rows,
+                title="Throughput (IPC) vs register file size",
+                note=note)],
+            data={"classes": list(classes), "sizes": list(REGISTER_SIZES),
+                  "rows": rows, "series": series},
+            payload=payload,
+        )
 
-    return ExhibitResult(
-        exhibit="Figure 6",
-        title="Throughput vs register file size (FLUSH vs RaT)",
-        data={"classes": list(classes), "sizes": list(REGISTER_SIZES),
-              "rows": rows, "series": series},
-        _renderer=_render,
-    )
+
+def run(config=None, spec=None, classes=None, workloads_per_class=None,
+        engine=None) -> ExhibitResult:
+    """Imperative one-shot driver (a single-exhibit campaign)."""
+    from .registry import get_exhibit
+    return get_exhibit("figure6").run(config, spec, classes,
+                                      workloads_per_class, engine)

@@ -1,0 +1,49 @@
+"""Exhibit name resolution (mirrors ``policies/registry.py``).
+
+Exhibit classes register themselves with the :func:`exhibit` decorator::
+
+    @exhibit("figure1", title="Throughput and fairness ...")
+    class Figure1(Exhibit):
+        def plan(self, ctx): ...
+        def assemble(self, ctx, runs): ...
+
+The registry maps CLI names to ready-to-use exhibit *instances*; the
+:class:`~.common.Campaign` orchestrator and the CLI resolve through it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple, Type
+
+from ..errors import UnknownExhibitError
+
+_REGISTRY: Dict[str, "Exhibit"] = {}  # type: ignore[name-defined]  # noqa: F821
+
+
+def exhibit(name: str, title: str = "") -> Callable[[Type], Type]:
+    """Class decorator registering an exhibit instance under ``name``."""
+    def _register(cls: Type) -> Type:
+        cls.name = name
+        if title:
+            cls.title = title
+        _REGISTRY[name] = cls()
+        return cls
+    return _register
+
+
+def exhibit_names() -> Tuple[str, ...]:
+    """All registered exhibit names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_exhibit(name: str):
+    """Look up a registered exhibit instance by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownExhibitError(name) from None
+
+
+def all_exhibits() -> Dict[str, "Exhibit"]:  # type: ignore[name-defined]  # noqa: F821
+    """Snapshot of the registry (name -> exhibit instance)."""
+    return dict(_REGISTRY)

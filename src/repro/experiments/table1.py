@@ -2,29 +2,34 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List
 
-from ..config import SMTConfig, baseline
-from .common import ExhibitResult
-from .report import ascii_table
+from ..sim.engine import RunIndex, SweepCell
+from .common import Exhibit, ExhibitContext, ExhibitResult, ExhibitSection
+from .registry import exhibit
 
 
-def run(config: Optional[SMTConfig] = None, engine=None,
-        **_ignored) -> ExhibitResult:
-    """Render the active configuration as the paper's Table 1.
+@exhibit("table1", title="SMT processor baseline configuration")
+class Table1(Exhibit):
+    """Renders the active configuration; needs no simulation at all."""
 
-    ``engine`` is accepted for driver-API uniformity; rendering the
-    configuration needs no simulation.
-    """
-    config = config or baseline()
-    rows = list(config.table1_rows())
+    def plan(self, ctx: ExhibitContext) -> List[SweepCell]:
+        return []
 
-    def _render(result: ExhibitResult) -> str:
-        return ascii_table(("Parameter", "Value"), result.data["rows"])
+    def assemble(self, ctx: ExhibitContext, runs: RunIndex) -> ExhibitResult:
+        rows = [list(row) for row in ctx.config.table1_rows()]
+        return ExhibitResult(
+            exhibit="Table 1",
+            title=self.title,
+            sections=[ExhibitSection(("Parameter", "Value"), rows)],
+            data={"rows": rows, "config": ctx.config},
+            payload={"rows": rows, "config": ctx.config.to_dict()},
+        )
 
-    return ExhibitResult(
-        exhibit="Table 1",
-        title="SMT processor baseline configuration",
-        data={"rows": rows, "config": config},
-        _renderer=_render,
-    )
+
+def run(config=None, spec=None, classes=None, workloads_per_class=None,
+        engine=None, **_ignored) -> ExhibitResult:
+    """Imperative one-shot driver (a single-exhibit campaign)."""
+    from .registry import get_exhibit
+    return get_exhibit("table1").run(config, spec, classes,
+                                     workloads_per_class, engine)

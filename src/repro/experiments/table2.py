@@ -8,15 +8,16 @@ characterization methodology requires (§4).
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List
 
 from ..config import SMTConfig
-from ..sim.engine import SINGLE_CLASS, SweepCell
-from ..sim.runner import RunSpec
+from ..sim.engine import SINGLE_CLASS, RunIndex, SweepCell
+from ..sim.runner import RunSpec, WorkloadRun
 from ..trace.profiles import benchmark_names, get_profile
 from ..trace.workloads import WORKLOAD_CLASSES, Workload, get_workloads
-from .common import ExhibitResult, resolve, resolve_engine
-from .report import ascii_table
+from .common import (Exhibit, ExhibitContext, ExhibitResult, ExhibitSection,
+                     resolve_engine)
+from .registry import exhibit
 
 
 def _single_cell(benchmark: str, config: SMTConfig,
@@ -25,52 +26,71 @@ def _single_cell(benchmark: str, config: SMTConfig,
                           "icount", config, spec)
 
 
-def measure_l2_mpki(benchmark: str, config: SMTConfig,
-                    spec: RunSpec, engine=None) -> float:
-    """Single-thread L2 misses per kilo-instruction for one benchmark."""
-    engine = resolve_engine(engine)
-    run = engine.run_workload(Workload(SINGLE_CLASS, (benchmark,)),
-                              "icount", config, spec)
+def _mpki(run: WorkloadRun) -> float:
     misses = run.result.l2_misses[0]
     committed = run.result.thread_stats[0].committed
     return 1000.0 * misses / max(1, committed)
 
 
-def run(config: Optional[SMTConfig] = None,
-        spec: Optional[RunSpec] = None, engine=None,
-        **_ignored) -> ExhibitResult:
-    config, spec, _classes = resolve(config, spec, None)
+def measure_l2_mpki(benchmark: str, config: SMTConfig,
+                    spec: RunSpec, engine=None) -> float:
+    """Single-thread L2 misses per kilo-instruction for one benchmark."""
     engine = resolve_engine(engine)
-    engine.run_cells([_single_cell(name, config, spec)
-                      for name in benchmark_names()])
-    mpki: Dict[str, float] = {
-        name: measure_l2_mpki(name, config, spec, engine=engine)
-        for name in benchmark_names()
-    }
-    workload_rows = []
-    for klass in WORKLOAD_CLASSES:
-        for workload in get_workloads(klass):
-            workload_rows.append((klass, workload.name))
-    class_rows = [
-        (name, get_profile(name).spec_class, mpki[name])
-        for name in benchmark_names()
-    ]
+    return _mpki(engine.run_workload(Workload(SINGLE_CLASS, (benchmark,)),
+                                     "icount", config, spec))
 
-    def _render(result: ExhibitResult) -> str:
-        parts = [ascii_table(("Class", "Workload"),
-                             result.data["workloads"],
-                             title="Workloads (Table 2)")]
-        parts.append("")
-        parts.append(ascii_table(
-            ("Benchmark", "Group", "measured L2 MPKI"),
-            result.data["classification"],
-            title="Benchmark classification by measured L2 miss rate"))
-        return "\n".join(parts)
 
-    return ExhibitResult(
-        exhibit="Table 2",
-        title="SMT simulation workload classification",
-        data={"workloads": workload_rows, "classification": class_rows,
-              "mpki": mpki},
-        _renderer=_render,
-    )
+@exhibit("table2", title="SMT simulation workload classification")
+class Table2(Exhibit):
+    """Lists all 54 workloads; measures every benchmark's L2 MPKI.
+
+    The class/workloads-per-class context knobs are ignored on purpose:
+    the classification premise only holds over the full benchmark set.
+    """
+
+    def plan(self, ctx: ExhibitContext) -> List[SweepCell]:
+        return [_single_cell(name, ctx.config, ctx.spec)
+                for name in benchmark_names()]
+
+    def assemble(self, ctx: ExhibitContext, runs: RunIndex) -> ExhibitResult:
+        mpki: Dict[str, float] = {
+            name: _mpki(runs[_single_cell(name, ctx.config, ctx.spec)])
+            for name in benchmark_names()
+        }
+        workload_rows = []
+        for klass in WORKLOAD_CLASSES:
+            for workload in get_workloads(klass):
+                workload_rows.append((klass, workload.name))
+        class_rows = [
+            (name, get_profile(name).spec_class, mpki[name])
+            for name in benchmark_names()
+        ]
+
+        payload = {
+            "workloads": [list(row) for row in workload_rows],
+            "classification": [list(row) for row in class_rows],
+            "mpki": mpki,
+        }
+        return ExhibitResult(
+            exhibit="Table 2",
+            title=self.title,
+            sections=[
+                ExhibitSection(("Class", "Workload"), workload_rows,
+                               title="Workloads (Table 2)"),
+                ExhibitSection(("Benchmark", "Group", "measured L2 MPKI"),
+                               class_rows,
+                               title="Benchmark classification by "
+                                     "measured L2 miss rate"),
+            ],
+            data={"workloads": workload_rows,
+                  "classification": class_rows, "mpki": mpki},
+            payload=payload,
+        )
+
+
+def run(config=None, spec=None, classes=None, workloads_per_class=None,
+        engine=None, **_ignored) -> ExhibitResult:
+    """Imperative one-shot driver (a single-exhibit campaign)."""
+    from .registry import get_exhibit
+    return get_exhibit("table2").run(config, spec, classes,
+                                     workloads_per_class, engine)

@@ -14,13 +14,14 @@ and, with a disk store, whole invocations reuse earlier campaigns.
 from .runner import (RunSpec, WorkloadRun, build_traces, run_workload,
                      clear_run_cache)
 from .baselines import single_thread_ipc
-from .engine import (ProcessPoolBackend, SerialBackend, SimEngine,
-                     SweepCell, get_engine, reference_cell, set_engine,
-                     simulate_cell)
+from .engine import (ProcessPoolBackend, RunIndex, SerialBackend,
+                     SimEngine, SweepCell, get_engine, reference_cell,
+                     set_engine, simulate_cell)
 from .fame import fame_run
 from .results import ClassAggregate, aggregate_by_class
 from .store import DiskStore, MemoryStore, ResultStore, cache_key
-from .sweep import PolicySweep, sweep_policies
+from .sweep import (PolicySweep, assemble_policy_sweep, plan_policy_sweep,
+                    sweep_policies)
 
 __all__ = [
     "RunSpec",
@@ -31,6 +32,7 @@ __all__ = [
     "single_thread_ipc",
     "SimEngine",
     "SweepCell",
+    "RunIndex",
     "SerialBackend",
     "ProcessPoolBackend",
     "get_engine",
@@ -45,5 +47,7 @@ __all__ = [
     "ClassAggregate",
     "aggregate_by_class",
     "PolicySweep",
+    "plan_policy_sweep",
+    "assemble_policy_sweep",
     "sweep_policies",
 ]

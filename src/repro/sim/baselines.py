@@ -20,9 +20,13 @@ from .runner import RunSpec
 
 
 def clear_baseline_cache() -> None:
-    """Drop memoized references (tests use this for isolation)."""
+    """Forget memoized references (tests use this for isolation).
+
+    Same contract as :func:`repro.sim.runner.clear_run_cache`: in-process
+    state is dropped, on-disk store entries persist.
+    """
     from .engine import get_engine
-    get_engine().clear_memory()
+    get_engine().clear()
 
 
 def single_thread_ipc(benchmark: str, config: Optional[SMTConfig] = None,

@@ -92,6 +92,49 @@ def reference_cell(benchmark: str, config: Optional[SMTConfig] = None,
                           "icount", config, ref_spec)
 
 
+class RunIndex:
+    """Immutable cell -> memoized run mapping an executed batch returns.
+
+    The assemble phase of an exhibit looks runs up by the very
+    :class:`SweepCell` values its plan declared; lookup goes through the
+    content-addressed cell key, so equal cells (however constructed)
+    resolve to the same run.
+    """
+
+    def __init__(self, runs: Dict[str, WorkloadRun]) -> None:
+        self._runs = dict(runs)
+
+    @classmethod
+    def from_runs(cls, cells: Sequence[SweepCell],
+                  runs: Sequence[WorkloadRun]) -> "RunIndex":
+        return cls({cell.key(): run for cell, run in zip(cells, runs)})
+
+    def __len__(self) -> int:
+        return len(self._runs)
+
+    def __contains__(self, cell: SweepCell) -> bool:
+        return cell.key() in self._runs
+
+    def __getitem__(self, cell: SweepCell) -> WorkloadRun:
+        try:
+            return self._runs[cell.key()]
+        except KeyError:
+            raise KeyError(
+                f"cell not in this campaign's plan: {cell.workload} "
+                f"policy={cell.policy!r} — assemble() may only consume "
+                f"cells its plan() declared") from None
+
+    def get(self, cell: SweepCell,
+            default: Optional[WorkloadRun] = None) -> Optional[WorkloadRun]:
+        return self._runs.get(cell.key(), default)
+
+    def single_thread_ipc(self, benchmark: str,
+                          config: Optional[SMTConfig] = None,
+                          spec: Optional[RunSpec] = None) -> float:
+        """One benchmark's reference IPC from the planned reference cell."""
+        return self[reference_cell(benchmark, config, spec)].result.ipcs[0]
+
+
 def simulate_cell(cell: SweepCell) -> SimResult:
     """Simulate one cell from scratch (pure; runs in worker processes).
 
@@ -169,10 +212,33 @@ class SimEngine:
         self.counters = EngineCounters()
         self._memo: Dict[str, WorkloadRun] = {}
 
-    def clear_memory(self) -> None:
-        """Drop in-process memoization (disk entries persist)."""
+    def clear_memo(self) -> None:
+        """Drop the in-process :class:`WorkloadRun` memo only.
+
+        The result store is untouched: subsequent lookups fall through to
+        it and count as ``store_hits``.
+        """
         self._memo.clear()
+
+    def clear_store(self) -> None:
+        """Clear the result store's in-process entries.
+
+        For a :class:`~repro.sim.store.MemoryStore` that is everything it
+        holds; a :class:`~repro.sim.store.DiskStore` only drops its
+        front memory layer — on-disk entries persist by design (they are
+        content-addressed, so they can never serve stale results).
+        """
         self.store.clear()
+
+    def clear(self) -> None:
+        """Forget every in-process result (memo + store memory layers).
+
+        After this, each cell is re-simulated once — unless a disk store
+        still holds it, in which case it is re-read and counted as a
+        ``store_hit``.
+        """
+        self.clear_memo()
+        self.clear_store()
 
     def _wrap(self, cell: SweepCell, result: SimResult) -> WorkloadRun:
         return WorkloadRun(workload=cell.workload, policy=cell.policy,
@@ -242,6 +308,13 @@ class SimEngine:
             items = [(key, waiting_cells[key]) for key in waiting]
             self.backend.run(items, _on_result)
         return results  # type: ignore[return-value]
+
+    def run_index(self, cells: Sequence[SweepCell],
+                  progress: Optional[ProgressFn] = None) -> RunIndex:
+        """Execute a batch and index its runs by cell for assembly."""
+        cells = list(cells)
+        return RunIndex.from_runs(cells, self.run_cells(cells,
+                                                        progress=progress))
 
     def run_workload(self, workload: Workload, policy: str,
                      config: Optional[SMTConfig] = None,

@@ -3,12 +3,15 @@
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..config import SMTConfig
 from ..metrics import fairness as fairness_metric
 from ..metrics import throughput as throughput_metric
 from .runner import RunSpec, WorkloadRun
+
+#: Lookup of one benchmark's single-thread reference IPC.
+ReferenceFn = Callable[[str], float]
 
 
 @dataclasses.dataclass
@@ -27,20 +30,30 @@ class ClassAggregate:
 
 
 def run_fairness(run: WorkloadRun, config: Optional[SMTConfig] = None,
-                 spec: Optional[RunSpec] = None, engine=None) -> float:
-    """Equation (2) for one run, using memoized single-thread references."""
-    if engine is None:
-        from .engine import get_engine
-        engine = get_engine()
-    st_ipcs = [engine.single_thread_ipc(name, config, spec or run.spec)
-               for name in run.workload.benchmarks]
+                 spec: Optional[RunSpec] = None, engine=None,
+                 references: Optional[ReferenceFn] = None) -> float:
+    """Equation (2) for one run, using memoized single-thread references.
+
+    ``references`` overrides where reference IPCs come from (the exhibit
+    assemble phase supplies a pure lookup into its planned run index);
+    otherwise the engine simulates/recalls them on demand.
+    """
+    if references is None:
+        if engine is None:
+            from .engine import get_engine
+            engine = get_engine()
+        def references(name: str) -> float:
+            return engine.single_thread_ipc(name, config, spec or run.spec)
+    st_ipcs = [references(name) for name in run.workload.benchmarks]
     return fairness_metric(run.ipcs, st_ipcs)
 
 
 def aggregate_by_class(runs: Sequence[WorkloadRun],
                        config: Optional[SMTConfig] = None,
                        spec: Optional[RunSpec] = None,
-                       engine=None) -> ClassAggregate:
+                       engine=None,
+                       references: Optional[ReferenceFn] = None
+                       ) -> ClassAggregate:
     """Average one policy's runs (all from one class) into a point."""
     if not runs:
         raise ValueError("cannot aggregate zero runs")
@@ -50,7 +63,8 @@ def aggregate_by_class(runs: Sequence[WorkloadRun],
         if run.workload.klass != klass or run.policy != policy:
             raise ValueError("aggregate_by_class needs a homogeneous group")
     throughputs = [run.throughput for run in runs]
-    fairnesses = [run_fairness(run, config, spec, engine=engine)
+    fairnesses = [run_fairness(run, config, spec, engine=engine,
+                               references=references)
                   for run in runs]
     executed = [float(run.executed) for run in runs]
     cpis = [run.cpi for run in runs]

@@ -85,9 +85,14 @@ class WorkloadRun:
 
 
 def clear_run_cache() -> None:
-    """Drop the default engine's memoized runs (tests use this)."""
+    """Forget the default engine's in-process results (tests use this).
+
+    Clears both the run memo and the store's in-process entries via
+    :meth:`~repro.sim.engine.SimEngine.clear`; entries a ``DiskStore``
+    already persisted remain on disk and are re-read on demand.
+    """
     from .engine import get_engine
-    get_engine().clear_memory()
+    get_engine().clear()
 
 
 def build_traces(workload: Workload, spec: RunSpec) -> List[Trace]:

@@ -1,10 +1,13 @@
 """Policy x workload-class sweeps (the shape of every figure).
 
-Sweeps build the full cross product of (policy, workload) cells — plus
-the single-thread reference cells the fairness metric needs — and submit
-them to the simulation engine in **one batch**, so a parallel backend
-overlaps every outstanding simulation of the campaign instead of walking
-nested loops serially.
+Sweeps are split into the same two pure phases as the exhibit API:
+:func:`plan_policy_sweep` declares the full cross product of
+(policy, workload) cells — plus the single-thread reference cells the
+fairness metric needs — and :func:`assemble_policy_sweep` folds the
+memoized runs of exactly those cells into a :class:`PolicySweep`.
+:func:`sweep_policies` glues the phases together through an engine for
+direct callers; campaign-level callers plan first, batch across
+exhibits, and assemble later.
 """
 
 from __future__ import annotations
@@ -13,8 +16,8 @@ import dataclasses
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import SMTConfig, baseline
-from ..trace.workloads import get_workloads
-from .engine import ProgressFn, SweepCell, reference_cell
+from ..trace.workloads import Workload, get_workloads
+from .engine import ProgressFn, RunIndex, SweepCell, reference_cell
 from .results import ClassAggregate, aggregate_by_class
 from .runner import RunSpec, default_spec
 
@@ -50,6 +53,65 @@ class PolicySweep:
                 for value, b in zip(own, base)]
 
 
+def _sweep_workloads(classes: Sequence[str],
+                     workloads_per_class: Optional[int]
+                     ) -> Dict[str, List[Workload]]:
+    return {klass: get_workloads(klass, limit=workloads_per_class)
+            for klass in classes}
+
+
+def plan_policy_sweep(policies: Sequence[str], classes: Sequence[str],
+                      config: Optional[SMTConfig] = None,
+                      spec: Optional[RunSpec] = None,
+                      workloads_per_class: Optional[int] = None
+                      ) -> List[SweepCell]:
+    """Declare every cell a policy sweep derives from (pure).
+
+    The list covers the full (policy x workload) cross product plus one
+    single-thread reference cell per distinct benchmark — everything
+    :func:`assemble_policy_sweep` will look up, and nothing else.
+    """
+    config = config if config is not None else baseline()
+    spec = spec if spec is not None else default_spec()
+    by_class = _sweep_workloads(classes, workloads_per_class)
+    cells = [SweepCell.make(workload, policy, config, spec)
+             for klass in classes
+             for policy in policies
+             for workload in by_class[klass]]
+    benchmarks = sorted({name
+                         for workloads in by_class.values()
+                         for workload in workloads
+                         for name in workload.benchmarks})
+    cells.extend(reference_cell(name, config, spec)
+                 for name in benchmarks)
+    return cells
+
+
+def assemble_policy_sweep(policies: Sequence[str], classes: Sequence[str],
+                          runs: RunIndex,
+                          config: Optional[SMTConfig] = None,
+                          spec: Optional[RunSpec] = None,
+                          workloads_per_class: Optional[int] = None
+                          ) -> PolicySweep:
+    """Fold the planned cells' memoized runs into a sweep (pure)."""
+    config = config if config is not None else baseline()
+    spec = spec if spec is not None else default_spec()
+    by_class = _sweep_workloads(classes, workloads_per_class)
+
+    def references(name: str) -> float:
+        return runs.single_thread_ipc(name, config, spec)
+
+    cells: Dict[Tuple[str, str], ClassAggregate] = {}
+    for klass in classes:
+        for policy in policies:
+            group = [runs[SweepCell.make(workload, policy, config, spec)]
+                     for workload in by_class[klass]]
+            cells[(policy, klass)] = aggregate_by_class(
+                group, config, spec, references=references)
+    return PolicySweep(policies=tuple(policies), classes=tuple(classes),
+                       cells=cells)
+
+
 def sweep_policies(policies: Sequence[str], classes: Sequence[str],
                    config: Optional[SMTConfig] = None,
                    spec: Optional[RunSpec] = None,
@@ -57,6 +119,10 @@ def sweep_policies(policies: Sequence[str], classes: Sequence[str],
                    engine=None,
                    progress: Optional[ProgressFn] = None) -> PolicySweep:
     """Run every policy on every workload of the given classes.
+
+    Plans the sweep, submits the whole cell set (sweep cells plus
+    fairness references) to the engine in **one batch**, and assembles
+    the aggregates from the resulting run index.
 
     Args:
         policies: Policy registry names.
@@ -71,35 +137,8 @@ def sweep_policies(policies: Sequence[str], classes: Sequence[str],
     if engine is None:
         from .engine import get_engine
         engine = get_engine()
-    config = config if config is not None else baseline()
-    spec = spec if spec is not None else default_spec()
-
-    groups: List[Tuple[str, str]] = []          # (policy, klass) per group
-    group_cells: List[List[SweepCell]] = []     # sweep cells per group
-    benchmarks = set()
-    for klass in classes:
-        workloads = get_workloads(klass, limit=workloads_per_class)
-        for policy in policies:
-            groups.append((policy, klass))
-            group_cells.append([SweepCell.make(workload, policy,
-                                               config, spec)
-                                for workload in workloads])
-        for workload in workloads:
-            benchmarks.update(workload.benchmarks)
-
-    # One flat batch: every sweep cell plus every fairness reference the
-    # aggregation below will ask for.
-    flat = [cell for cells in group_cells for cell in cells]
-    refs = [reference_cell(name, config, spec)
-            for name in sorted(benchmarks)]
-    flat_runs = engine.run_cells(flat + refs, progress=progress)
-
-    cells: Dict[Tuple[str, str], ClassAggregate] = {}
-    cursor = 0
-    for (policy, klass), cell_group in zip(groups, group_cells):
-        runs = flat_runs[cursor:cursor + len(cell_group)]
-        cursor += len(cell_group)
-        cells[(policy, klass)] = aggregate_by_class(runs, config, spec,
-                                                    engine=engine)
-    return PolicySweep(policies=tuple(policies), classes=tuple(classes),
-                       cells=cells)
+    cells = plan_policy_sweep(policies, classes, config, spec,
+                              workloads_per_class)
+    index = engine.run_index(cells, progress=progress)
+    return assemble_policy_sweep(policies, classes, index, config, spec,
+                                 workloads_per_class)

@@ -1,0 +1,302 @@
+"""Tests for the declarative two-phase exhibit API (ISSUE 2).
+
+Acceptance properties:
+
+* planning is deterministic: the same context always declares the same
+  cells;
+* a multi-exhibit campaign simulates the union of planned cells exactly
+  once, in a single backend batch, with cross-exhibit reuse visible in
+  the engine counters;
+* ``render("json")`` round-trips through ``json.loads`` to exactly
+  ``to_dict()``, and the default text rendering equals ``render()``;
+* ``--jobs 0`` auto-detects the CPU count;
+* the engine's memo-vs-store clearing contract is explicit.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import build_parser, main, make_engine
+from repro.errors import UnknownExhibitError
+from repro.experiments import (
+    Campaign,
+    ExhibitContext,
+    all_exhibits,
+    exhibit_names,
+    get_exhibit,
+)
+from repro.sim.engine import (
+    ProcessPoolBackend,
+    RunIndex,
+    SerialBackend,
+    SimEngine,
+    SweepCell,
+    set_engine,
+)
+from repro.sim.runner import RunSpec, clear_run_cache
+from repro.sim.store import DiskStore
+from repro.trace.workloads import Workload
+
+TINY = RunSpec(trace_len=300, seed=3, max_cycles=200_000)
+
+TINY_CTX = ExhibitContext.make(spec=TINY, classes=("MEM2",),
+                               workloads_per_class=1)
+
+
+@pytest.fixture(autouse=True)
+def _fresh():
+    clear_run_cache()
+    yield
+    clear_run_cache()
+
+
+class CountingBackend(SerialBackend):
+    """Serial backend that counts how many batches it receives."""
+
+    def __init__(self):
+        self.batches = 0
+
+    def run(self, items, on_result):
+        self.batches += 1
+        super().run(items, on_result)
+
+
+class TestRegistry:
+    def test_all_eight_exhibits_registered(self):
+        assert exhibit_names() == ("figure1", "figure2", "figure3",
+                                   "figure4", "figure5", "figure6",
+                                   "table1", "table2")
+
+    def test_unknown_exhibit_raises(self):
+        with pytest.raises(UnknownExhibitError):
+            get_exhibit("figure9")
+
+    def test_instances_carry_name_and_title(self):
+        for name, ex in all_exhibits().items():
+            assert ex.name == name
+            assert ex.title
+
+
+class TestPlanDeterminism:
+    def test_same_ctx_same_cells(self):
+        for name, ex in all_exhibits().items():
+            first = ex.plan(TINY_CTX)
+            second = ex.plan(TINY_CTX)
+            assert [c.key() for c in first] == [c.key() for c in second], \
+                f"{name} plan is not deterministic"
+            assert first == second
+
+    def test_plan_is_pure_no_simulation(self):
+        engine = SimEngine()
+        previous = set_engine(engine)
+        try:
+            for ex in all_exhibits().values():
+                ex.plan(TINY_CTX)
+        finally:
+            set_engine(previous)
+        assert engine.counters.simulated == 0
+
+    def test_ctx_change_changes_cells(self):
+        ex = get_exhibit("figure1")
+        other = ExhibitContext.make(
+            spec=RunSpec(trace_len=301, seed=3, max_cycles=200_000),
+            classes=("MEM2",), workloads_per_class=1)
+        assert ({c.key() for c in ex.plan(TINY_CTX)}
+                != {c.key() for c in ex.plan(other)})
+
+
+class TestCampaignDedup:
+    def test_shared_cells_simulated_once(self):
+        engine = SimEngine()
+        campaign = Campaign(["figure1", "figure2", "figure3"],
+                            ctx=TINY_CTX, engine=engine)
+        plans = campaign.plans()
+        planned = sum(len(cells) for cells in plans.values())
+        unique = {cell.key()
+                  for cells in plans.values() for cell in cells}
+        assert planned > len(unique)  # figures overlap heavily
+
+        results = campaign.run()
+        assert set(results) == {"figure1", "figure2", "figure3"}
+        assert engine.counters.simulated == len(unique)
+
+    def test_all_eight_single_backend_batch(self):
+        backend = CountingBackend()
+        engine = SimEngine(backend=backend)
+        campaign = Campaign(sorted(exhibit_names()), ctx=TINY_CTX,
+                            engine=engine)
+        results = campaign.run()
+        assert backend.batches == 1
+        assert len(results) == 8
+        simulated = engine.counters.simulated
+        assert simulated == len({c.key() for c in campaign.plan()})
+        # Assembling consumed only memoized runs: nothing new simulated.
+        campaign.assemble(campaign.execute())
+        assert engine.counters.simulated == simulated
+
+    def test_campaign_matches_single_exhibit_run(self):
+        engine = SimEngine()
+        campaign = Campaign(["figure1", "figure3"], ctx=TINY_CTX,
+                            engine=engine)
+        batched = campaign.run()["figure1"]
+        solo = get_exhibit("figure1").run(
+            spec=TINY, classes=("MEM2",), workloads_per_class=1,
+            engine=SimEngine())
+        assert batched.render() == solo.render()
+
+
+class TestCostOrdering:
+    def test_costliest_cells_first(self):
+        ctx = ExhibitContext.make(spec=TINY, classes=("ILP2", "MEM4"),
+                                  workloads_per_class=1)
+        campaign = Campaign(["figure1"], ctx=ctx)
+        batch = campaign.plan()
+        threads = [cell.workload.num_threads for cell in batch]
+        # Every 4-thread cell precedes every 2-thread cell; the
+        # single-thread fairness references drain last.
+        assert threads == sorted(threads, reverse=True)
+
+
+class TestExhibitResultFormats:
+    @pytest.fixture(scope="class")
+    def figure1_result(self):
+        clear_run_cache()
+        return get_exhibit("figure1").run(spec=TINY, classes=("MEM2",),
+                                          workloads_per_class=1,
+                                          engine=SimEngine())
+
+    def test_json_round_trips(self, figure1_result):
+        assert (json.loads(figure1_result.render("json"))
+                == figure1_result.to_dict())
+
+    def test_table1_json_round_trips(self):
+        result = get_exhibit("table1").run(engine=SimEngine())
+        assert json.loads(result.render("json")) == result.to_dict()
+
+    def test_default_render_is_text(self, figure1_result):
+        assert figure1_result.render() == figure1_result.render("text")
+        assert figure1_result.render().startswith("== Figure 1: ")
+
+    def test_csv_has_headers_and_rows(self, figure1_result):
+        lines = figure1_result.render("csv").splitlines()
+        assert "Policy,MEM2" in lines
+        assert any(line.startswith("rat,") for line in lines)
+
+    def test_unknown_format_rejected(self, figure1_result):
+        with pytest.raises(ValueError):
+            figure1_result.render("yaml")
+
+    def test_payload_mirrors_sections(self, figure1_result):
+        document = figure1_result.to_dict()
+        assert document["exhibit"] == "Figure 1"
+        assert len(document["sections"]) == 3
+        assert document["data"]["policies"] == ["icount", "stall",
+                                                "flush", "rat"]
+
+
+class TestRunIndex:
+    def test_missing_cell_is_an_error(self):
+        index = RunIndex({})
+        cell = SweepCell.make(Workload("MEM2", ("swim", "art")),
+                              "icount", spec=TINY)
+        with pytest.raises(KeyError):
+            index[cell]
+        assert index.get(cell) is None
+
+
+class TestClearContract:
+    def test_clear_memo_keeps_store(self):
+        engine = SimEngine()
+        engine.run_workload(Workload("MEM2", ("swim", "art")), "icount",
+                            spec=TINY)
+        engine.clear_memo()
+        engine.run_workload(Workload("MEM2", ("swim", "art")), "icount",
+                            spec=TINY)
+        assert engine.counters.simulated == 1
+        assert engine.counters.store_hits == 1
+
+    def test_clear_drops_memory_store(self):
+        engine = SimEngine()
+        engine.run_workload(Workload("MEM2", ("swim", "art")), "icount",
+                            spec=TINY)
+        engine.clear()
+        engine.run_workload(Workload("MEM2", ("swim", "art")), "icount",
+                            spec=TINY)
+        assert engine.counters.simulated == 2
+
+    def test_clear_keeps_disk_entries(self, tmp_path):
+        engine = SimEngine(store=DiskStore(str(tmp_path / "cache")))
+        engine.run_workload(Workload("MEM2", ("swim", "art")), "icount",
+                            spec=TINY)
+        engine.clear()
+        engine.run_workload(Workload("MEM2", ("swim", "art")), "icount",
+                            spec=TINY)
+        assert engine.counters.simulated == 1
+        assert engine.counters.store_hits == 1
+
+
+class TestJobsAuto:
+    def test_jobs_zero_means_cpu_count(self):
+        args = build_parser().parse_args(["figure1", "--jobs", "0"])
+        assert args.jobs == 0
+        engine = make_engine(args)
+        assert isinstance(engine.backend, ProcessPoolBackend)
+        assert engine.backend.jobs == (os.cpu_count() or 1)
+
+    def test_short_flag_j0(self):
+        args = build_parser().parse_args(["figure1", "-j0"])
+        assert args.jobs == 0
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure1", "--jobs", "-2"])
+
+    def test_jobs_one_stays_serial(self):
+        args = build_parser().parse_args(["figure1", "--jobs", "1"])
+        assert isinstance(make_engine(args).backend, SerialBackend)
+
+
+class TestCLIFormats:
+    ARGS = ["--trace-len", "300", "--seed", "3",
+            "--workloads-per-class", "1", "--classes", "MEM2",
+            "--no-progress"]
+
+    def test_single_exhibit_json_stdout_is_pure_json(self, capsys):
+        assert main(["figure1", "--format", "json"] + self.ARGS) == 0
+        out = capsys.readouterr().out
+        document = json.loads(out)
+        assert document["exhibit"] == "Figure 1"
+
+    def test_all_json_stdout_is_one_document(self, capsys):
+        assert main(["all", "--format", "json"] + self.ARGS) == 0
+        out = capsys.readouterr().out
+        document = json.loads(out)
+        assert sorted(document) == sorted(exhibit_names())
+        for name, payload in document.items():
+            assert payload["sections"], name
+
+    def test_text_json_agree(self, capsys):
+        assert main(["figure1", "--format", "json"] + self.ARGS) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert main(["figure1"] + self.ARGS) == 0
+        text = capsys.readouterr().out
+        # The same throughput table, in both renderings.
+        rat_row = next(row for row in document["data"]["throughput"]
+                       if row[0] == "rat")
+        assert f"rat     {rat_row[1]:.3f}" in text
+
+    def test_output_dir_writes_files(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "results")
+        assert main(["table1", "--format", "json",
+                     "--output", out_dir] + self.ARGS) == 0
+        capsys.readouterr()
+        path = os.path.join(out_dir, "table1.json")
+        with open(path, encoding="utf-8") as handle:
+            assert json.load(handle)["exhibit"] == "Table 1"
+
+    def test_csv_format(self, capsys):
+        assert main(["figure1", "--format", "csv"] + self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "Policy,MEM2" in out
