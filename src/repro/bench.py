@@ -1,0 +1,288 @@
+"""The ``repro bench`` harness: wall-clock timing of representative cells.
+
+The benchmark matrix covers 1/2/4-thread workloads from the ILP/MEM/MIX
+classes under the policies that matter for the paper (ICOUNT, STALL,
+FLUSH, RaT).  Each cell is timed end to end through
+:meth:`SMTProcessor.run` (construction and functional warmup excluded,
+trace generation memoized outside the timer), once with the event-driven
+cycle-skipping fast path enabled and once with it disabled, so every
+report carries its own skip-attribution.
+
+Reports are JSON documents (``BENCH_<rev>.json``) with a *calibration
+constant* — the wall time of a fixed pure-Python integer loop on the
+same interpreter — so two reports from different machines can be
+compared through their calibration-normalized times instead of raw
+seconds.  ``repro bench --check BASELINE`` does exactly that and fails
+when cells regress beyond the tolerance; CI runs it against the
+committed baseline (see ``benchmarks/``).
+
+The headline cell for the cycle-skipping work is ``mem2-stall``: a
+MEM-heavy 2-thread workload whose threads spend most of their time
+blocked on L2 misses — exactly the stretches the fast path jumps over.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import platform
+import subprocess
+import time
+from typing import Dict, List, Optional
+
+from .config import baseline
+from .core.processor import SMTProcessor
+from .trace.generator import generate_trace
+
+#: Report schema identifier.
+BENCH_SCHEMA = "repro-bench-v1"
+
+#: The acceptance-criterion cell (MEM-heavy, 2 threads, memory-blocked).
+HEADLINE_CELL = "mem2-stall"
+
+#: Environment override for the revision stamped into the report name.
+REV_ENV_VAR = "REPRO_BENCH_REV"
+
+#: Calibration loop iterations (~40 ms on a 2020s x86 core).
+_CALIBRATION_N = 2_000_000
+
+
+@dataclasses.dataclass(frozen=True)
+class BenchCell:
+    """One timed configuration."""
+
+    id: str
+    klass: str
+    benchmarks: tuple
+    policy: str
+    trace_len: int = 3000
+    min_passes: int = 1
+    quick: bool = False      # included in --quick runs
+
+    @property
+    def threads(self) -> int:
+        return len(self.benchmarks)
+
+
+#: The benchmark matrix (workload tuples from Table 2).
+BENCH_CELLS = (
+    # 1 thread — the runahead-origin single-thread cases.
+    BenchCell("mem1-icount", "SINGLE", ("mcf",), "icount"),
+    BenchCell("mem1-rat", "SINGLE", ("mcf",), "rat"),
+    BenchCell("ilp1-icount", "SINGLE", ("gzip",), "icount"),
+    # 2 threads — every policy on the MEM-heavy pair, plus class spread.
+    BenchCell("ilp2-icount", "ILP2", ("gzip", "bzip2"), "icount",
+              quick=True),
+    BenchCell("mem2-icount", "MEM2", ("art", "mcf"), "icount"),
+    BenchCell("mem2-stall", "MEM2", ("art", "mcf"), "stall", quick=True),
+    BenchCell("mem2-flush", "MEM2", ("art", "mcf"), "flush"),
+    BenchCell("mem2-rat", "MEM2", ("art", "mcf"), "rat", quick=True),
+    BenchCell("mix2-stall", "MIX2", ("bzip2", "mcf"), "stall", quick=True),
+    BenchCell("mix2-rat", "MIX2", ("bzip2", "mcf"), "rat"),
+    # 4 threads — the heavy end of Table 2.
+    BenchCell("ilp4-icount", "ILP4", ("gzip", "bzip2", "eon", "gcc"),
+              "icount"),
+    BenchCell("mem4-stall", "MEM4", ("applu", "art", "mcf", "twolf"),
+              "stall"),
+    BenchCell("mem4-rat", "MEM4", ("applu", "art", "mcf", "twolf"), "rat"),
+    BenchCell("mix4-rat", "MIX4", ("ammp", "applu", "apsi", "eon"), "rat"),
+)
+
+
+def bench_cells(quick: bool = False) -> List[BenchCell]:
+    """The matrix, or its CI-sized ``--quick`` subset."""
+    if quick:
+        return [cell for cell in BENCH_CELLS if cell.quick]
+    return list(BENCH_CELLS)
+
+
+def calibrate(repeats: int = 3) -> float:
+    """Wall time of a fixed pure-Python loop (machine speed constant).
+
+    Dividing a cell's seconds by this constant yields a dimensionless
+    cost that transfers between machines far better than raw seconds,
+    which is what ``--check`` compares.
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        total = 0
+        for value in range(_CALIBRATION_N):
+            total += value & 7
+        elapsed = time.perf_counter() - started
+        best = min(best, elapsed)
+        if total < 0:  # pragma: no cover - keeps the loop un-eliminable
+            raise AssertionError
+    return best
+
+
+def time_cell(cell: BenchCell, cycle_skip: bool = True,
+              repeats: int = 3) -> Dict:
+    """Best-of-``repeats`` wall time for one cell.
+
+    Returns the timing plus the run's simulation statistics (cycle
+    counts and skip accounting from the final repeat — every repeat is
+    bit-identical, so any of them is representative).
+    """
+    traces = [generate_trace(name, cell.trace_len, 1)
+              for name in cell.benchmarks]
+    config = baseline().with_policy(cell.policy)
+    best = float("inf")
+    result = None
+    pipeline = None
+    for _ in range(max(1, repeats)):
+        processor = SMTProcessor(config, traces)
+        processor.pipeline.cycle_skip = cycle_skip
+        started = time.perf_counter()
+        result = processor.run(min_passes=cell.min_passes)
+        best = min(best, time.perf_counter() - started)
+        pipeline = processor.pipeline
+    return {
+        "seconds": best,
+        "cycles": result.cycles,
+        "committed": result.total_committed,
+        "skipped_cycles": pipeline.skipped_cycles,
+        "skip_jumps": pipeline.skip_jumps,
+    }
+
+
+def current_revision() -> str:
+    """Short revision for the report name (env override, else git)."""
+    rev = os.environ.get(REV_ENV_VAR)
+    if rev:
+        return rev
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)))
+        if out.returncode == 0 and out.stdout.strip():
+            return out.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return "unknown"
+
+
+def run_bench(quick: bool = False, repeats: int = 3,
+              measure_noskip: bool = True, progress=None) -> Dict:
+    """Run the matrix and return the report document."""
+    cells = bench_cells(quick)
+    calibration = calibrate()
+    report: Dict = {
+        "schema": BENCH_SCHEMA,
+        "revision": current_revision(),
+        "quick": quick,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "calibration_seconds": calibration,
+        "cells": {},
+    }
+    for cell in cells:
+        timed = time_cell(cell, cycle_skip=True, repeats=repeats)
+        entry = {
+            "klass": cell.klass,
+            "benchmarks": list(cell.benchmarks),
+            "policy": cell.policy,
+            "threads": cell.threads,
+            "trace_len": cell.trace_len,
+            "seconds": timed["seconds"],
+            "normalized": timed["seconds"] / calibration,
+            "cycles": timed["cycles"],
+            "committed": timed["committed"],
+            "skipped_cycles": timed["skipped_cycles"],
+            "skip_jumps": timed["skip_jumps"],
+            "skip_fraction": timed["skipped_cycles"] / timed["cycles"],
+            "sim_cycles_per_second": timed["cycles"] / timed["seconds"],
+        }
+        if measure_noskip:
+            reference = time_cell(cell, cycle_skip=False, repeats=repeats)
+            entry["seconds_noskip"] = reference["seconds"]
+            entry["speedup_vs_noskip"] = (reference["seconds"]
+                                          / timed["seconds"])
+        report["cells"][cell.id] = entry
+        if progress is not None:
+            note = (f"  {cell.id}: {entry['seconds']:.3f}s "
+                    f"({entry['skip_fraction']:.0%} cycles skipped")
+            if measure_noskip:
+                note += f", {entry['speedup_vs_noskip']:.2f}x vs no-skip"
+            progress(note + ")")
+    return report
+
+
+def render_report(report: Dict) -> str:
+    """Human-readable table of a report."""
+    lines = [f"repro bench @ {report['revision']} "
+             f"(python {report['python']}, "
+             f"calibration {report['calibration_seconds'] * 1e3:.1f} ms, "
+             f"best of {report['repeats']})",
+             f"{'cell':14s} {'policy':7s} {'thr':>3s} {'seconds':>8s} "
+             f"{'Mcyc/s':>7s} {'skipped':>8s} {'vs-noskip':>9s}"]
+    for cell_id, entry in report["cells"].items():
+        speedup = entry.get("speedup_vs_noskip")
+        lines.append(
+            f"{cell_id:14s} {entry['policy']:7s} {entry['threads']:3d} "
+            f"{entry['seconds']:8.3f} "
+            f"{entry['sim_cycles_per_second'] / 1e6:7.2f} "
+            f"{entry['skip_fraction']:8.0%} "
+            + (f"{speedup:8.2f}x" if speedup is not None else
+               f"{'-':>9s}"))
+    return "\n".join(lines)
+
+
+def check_report(report: Dict, reference: Dict,
+                 tolerance: float = 2.0) -> List[str]:
+    """Compare calibration-normalized cell times against a reference.
+
+    Returns a list of failure messages (empty when every shared cell is
+    within ``tolerance`` times its reference cost).  Ratios below 1 are
+    speedups; only slowdowns can fail the check.
+    """
+    failures = []
+    for cell_id, entry in report["cells"].items():
+        ref = reference.get("cells", {}).get(cell_id)
+        if ref is None or "normalized" not in ref:
+            continue
+        ratio = entry["normalized"] / ref["normalized"]
+        if ratio > tolerance:
+            failures.append(
+                f"{cell_id}: {ratio:.2f}x the reference cost "
+                f"(now {entry['seconds']:.3f}s normalized "
+                f"{entry['normalized']:.2f}, reference normalized "
+                f"{ref['normalized']:.2f}, tolerance {tolerance:.2f}x)")
+    return failures
+
+
+def compare_summary(report: Dict, reference: Dict) -> List[str]:
+    """Per-cell speedup lines against a reference report."""
+    lines = []
+    for cell_id, entry in report["cells"].items():
+        ref = reference.get("cells", {}).get(cell_id)
+        if ref is None or "normalized" not in ref:
+            continue
+        speedup = ref["normalized"] / entry["normalized"]
+        lines.append(f"  {cell_id}: {speedup:.2f}x vs reference "
+                     f"({ref['normalized']:.2f} -> "
+                     f"{entry['normalized']:.2f} calibrated units)")
+    return lines
+
+
+def write_report(report: Dict, path: Optional[str] = None) -> str:
+    """Write ``BENCH_<rev>.json`` (or ``path``); returns the path."""
+    if path is None:
+        path = f"BENCH_{report['revision']}.json"
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_report(path: str) -> Dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    if report.get("schema") != BENCH_SCHEMA:
+        raise ValueError(f"{path}: not a {BENCH_SCHEMA} report")
+    return report

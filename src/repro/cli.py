@@ -7,6 +7,14 @@ Examples::
     python -m repro all --jobs 0 --cache-dir ~/.cache/repro-smt
     python -m repro all --format json --output results/
     repro-smt figure6 --classes MEM2 MEM4 --format csv
+    repro-smt bench --quick --check benchmarks/BENCH_baseline.json
+    repro-smt cache stats --cache-dir ~/.cache/repro-smt
+    repro-smt cache prune --cache-dir ~/.cache/repro-smt --stale-salts
+
+Besides the exhibit names, two maintenance subcommands exist: ``bench``
+times representative simulation cells and emits a ``BENCH_<rev>.json``
+report (see :mod:`repro.bench`), and ``cache`` inspects or prunes a
+``--cache-dir`` result store (see :mod:`repro.sim.store`).
 
 However many exhibits are requested, their planned simulation cells are
 unioned into **one** deduplicated batch (costliest cells first), so
@@ -53,7 +61,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-smt",
         description="Reproduce 'Runahead Threads to Improve SMT "
                     "Performance' (HPCA 2008): regenerate its tables "
-                    "and figures on the bundled simulator.")
+                    "and figures on the bundled simulator.",
+        epilog="Maintenance subcommands: 'repro-smt bench --help' "
+               "(wall-clock benchmark harness), 'repro-smt cache --help' "
+               "(result-store stats / pruning).")
     parser.add_argument("exhibit",
                         choices=sorted(exhibit_names()) + ["all"],
                         help="which exhibit to regenerate ('all' plans "
@@ -169,7 +180,134 @@ def _write_output(directory: str, name: str, fmt: str, text: str,
     print(f"[wrote {path}]", file=status)
 
 
+def build_bench_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-smt bench",
+        description="Time representative simulation cells (1/2/4-thread "
+                    "ILP/MEM/MIX workloads under icount/stall/flush/rat) "
+                    "and emit a BENCH_<rev>.json report.")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized subset of the cell matrix")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats per cell; best is kept "
+                             "(default: 3)")
+    parser.add_argument("--no-noskip", action="store_true",
+                        help="skip the cycle-skip-disabled reference "
+                             "timings (halves the runtime)")
+    parser.add_argument("--output", default=None, metavar="PATH",
+                        help="report path (default: BENCH_<rev>.json)")
+    parser.add_argument("--check", default=None, metavar="BASELINE",
+                        help="compare calibration-normalized times "
+                             "against a baseline report; non-zero exit "
+                             "on regression beyond --tolerance")
+    parser.add_argument("--tolerance", type=float, default=2.0,
+                        help="max allowed cost ratio vs the baseline "
+                             "(default: 2.0)")
+    parser.add_argument("--compare", default=None, metavar="REPORT",
+                        help="also print per-cell speedups against "
+                             "another report (informational)")
+    return parser
+
+
+def bench_main(argv: List[str]) -> int:
+    from . import bench
+    args = build_bench_parser().parse_args(argv)
+    print(f"[bench] timing {len(bench.bench_cells(args.quick))} cells "
+          f"(repeats={args.repeats}"
+          f"{', quick' if args.quick else ''})", file=sys.stderr)
+    report = bench.run_bench(
+        quick=args.quick, repeats=args.repeats,
+        measure_noskip=not args.no_noskip,
+        progress=lambda line: print(line, file=sys.stderr))
+    path = bench.write_report(report, args.output)
+    print(bench.render_report(report))
+    print(f"[wrote {path}]", file=sys.stderr)
+
+    for label, reference_path in (("compare", args.compare),
+                                  ("check", args.check)):
+        if not reference_path:
+            continue
+        try:
+            reference = bench.load_report(reference_path)
+        except (OSError, ValueError) as error:
+            print(f"repro-smt bench: bad --{label} report: {error}",
+                  file=sys.stderr)
+            return 2
+        for line in bench.compare_summary(report, reference):
+            print(line)
+        if label == "check":
+            failures = bench.check_report(report, reference,
+                                          args.tolerance)
+            if failures:
+                for failure in failures:
+                    print(f"REGRESSION {failure}", file=sys.stderr)
+                return 1
+            print(f"[check ok: no cell exceeds {args.tolerance:.2f}x "
+                  f"the baseline cost]")
+    return 0
+
+
+def build_cache_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-smt cache",
+        description="Inspect or prune a --cache-dir result store.")
+    parser.add_argument("action", choices=("stats", "prune"),
+                        help="'stats' summarizes entries per code-version "
+                             "salt; 'prune' deletes stale entries")
+    parser.add_argument("--cache-dir", required=True,
+                        help="the store directory to operate on")
+    parser.add_argument("--stale-salts", action="store_true",
+                        help="prune: drop entries from other code-version "
+                             "salts (incl. corrupt payloads)")
+    parser.add_argument("--older-than-days", type=float, default=None,
+                        metavar="DAYS",
+                        help="prune: drop entries older than DAYS")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="prune: report what would be removed only")
+    return parser
+
+
+def cache_main(argv: List[str]) -> int:
+    args = build_cache_parser().parse_args(argv)
+    if not os.path.isdir(args.cache_dir):
+        print(f"repro-smt cache: no such cache directory: "
+              f"{args.cache_dir}", file=sys.stderr)
+        return 2
+    store = DiskStore(args.cache_dir)
+    if args.action == "stats":
+        stats = store.stats()
+        print(f"cache {stats['root']}: {stats['entries']} entries, "
+              f"{stats['bytes'] / 1024:.1f} KiB "
+              f"(current salt: {stats['current_salt']})")
+        for salt in sorted(stats["by_salt"]):
+            bucket = stats["by_salt"][salt]
+            marker = " (current)" if salt == stats["current_salt"] else ""
+            print(f"  {salt}{marker}: {bucket['entries']} entries, "
+                  f"{bucket['bytes'] / 1024:.1f} KiB")
+        return 0
+    if not args.stale_salts and args.older_than_days is None:
+        print("repro-smt cache prune: nothing to do — pass "
+              "--stale-salts and/or --older-than-days DAYS",
+              file=sys.stderr)
+        return 2
+    outcome = store.prune(stale_salts=args.stale_salts,
+                          older_than_days=args.older_than_days,
+                          dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
+    print(f"prune: {verb} {outcome.removed} of {outcome.examined} "
+          f"entries ({outcome.bytes_freed / 1024:.1f} KiB), "
+          f"kept {outcome.kept}")
+    return 0
+
+
+#: Maintenance subcommands dispatched ahead of the exhibit interface.
+SUBCOMMANDS = {"bench": bench_main, "cache": cache_main}
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] in SUBCOMMANDS:
+        return SUBCOMMANDS[argv[0]](argv[1:])
     args = build_parser().parse_args(argv)
     spec = make_spec(args)
     config = baseline()

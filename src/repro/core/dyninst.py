@@ -12,12 +12,13 @@ from __future__ import annotations
 import enum
 
 from ..isa import (
-    FP_OPS,
-    LOAD_OPS,
-    MEMORY_OPS,
+    IS_BRANCH_BY_CODE,
+    IS_FP_BY_CODE,
+    IS_LOAD_BY_CODE,
+    IS_MEM_BY_CODE,
+    IS_STORE_BY_CODE,
     NO_REG,
     OpClass,
-    STORE_OPS,
 )
 
 
@@ -31,6 +32,14 @@ class InstState(enum.IntEnum):
     COMPLETED = 4    # result produced (possibly invalid)
     RETIRED = 5      # committed (normal) or pseudo-retired (runahead)
     SQUASHED = 6     # cancelled by misprediction, flush, or runahead exit
+
+
+#: (is_load, is_store, is_mem, is_branch, is_fp) per op code — a single
+#: index + unpack in the constructor instead of five table reads.
+_OP_FLAGS = tuple(
+    (IS_LOAD_BY_CODE[code], IS_STORE_BY_CODE[code], IS_MEM_BY_CODE[code],
+     IS_BRANCH_BY_CODE[code], IS_FP_BY_CODE[code])
+    for code in range(len(IS_LOAD_BY_CODE)))
 
 
 class DynInst:
@@ -81,12 +90,8 @@ class DynInst:
         self.l2_miss = False        # detected long-latency (L2) miss
         self.mispredicted = False
 
-        opc = OpClass(op)
-        self.is_load = opc in LOAD_OPS
-        self.is_store = opc in STORE_OPS
-        self.is_mem = opc in MEMORY_OPS
-        self.is_branch = opc is OpClass.BRANCH
-        self.is_fp = opc in FP_OPS
+        (self.is_load, self.is_store, self.is_mem, self.is_branch,
+         self.is_fp) = _OP_FLAGS[op]
 
     @property
     def active(self) -> bool:

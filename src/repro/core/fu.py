@@ -10,7 +10,7 @@ simplification shared equally by all policies.)
 
 from __future__ import annotations
 
-from ..isa import FUKind, OP_FU, OpClass
+from ..isa import FUKind, OP_FU_BY_CODE
 
 
 class FUPool:
@@ -42,7 +42,7 @@ class FUPool:
 
     def acquire(self, op: int) -> bool:
         """Claim a unit for this cycle; False if the pool is exhausted."""
-        kind = OP_FU[OpClass(op)]
+        kind = OP_FU_BY_CODE[op]
         if self._available[kind] <= 0:
             return False
         self._available[kind] -= 1

@@ -14,6 +14,7 @@ policies arbitrate over.
 
 from __future__ import annotations
 
+import operator
 from typing import List
 
 from ..errors import SimulationError
@@ -90,11 +91,29 @@ class IssueQueue:
         """Put an instruction back (e.g. memory access rejected by MSHRs)."""
         self._ready.append(inst)
 
+    def has_ready(self) -> bool:
+        """Any entry currently issueable?
+
+        Used by the cycle-skipping fast path after every stepped cycle:
+        a live ready entry means next cycle's issue stage has work, so
+        idle cycles cannot be jumped over.  Allocation-free on purpose —
+        a busy machine calls this every cycle and bails on the first
+        live entry; a fully-stale list (everything squashed or folded)
+        is cleared in passing.
+        """
+        ready = self._ready
+        if not ready:
+            return False
+        for inst in ready:
+            if inst.state == InstState.READY:
+                return True
+        ready.clear()
+        return False
+
     def ready_count(self) -> int:
         return sum(1 for inst in self._ready
                    if inst.state == InstState.READY)
 
 
-def _inst_age(inst: DynInst) -> int:
-    # Global fetch order approximates true age across threads.
-    return inst.gseq
+#: Global fetch order approximates true age across threads.
+_inst_age = operator.attrgetter("gseq")

@@ -19,12 +19,11 @@ from ..branch import BranchTargetBuffer, PerceptronPredictor
 from ..config import SMTConfig
 from ..errors import DeadlockError, SimulationError
 from ..isa import (
-    FP_OPS,
-    FUKind,
-    IssueQueueKind,
+    IS_FP_BY_CODE,
     NO_REG,
-    OP_LATENCY,
-    OP_QUEUE,
+    NUM_INT_ARCH_REGS,
+    OP_LATENCY_BY_CODE,
+    OP_QUEUE_BY_CODE,
     OpClass,
     RegClass,
     reg_class,
@@ -44,6 +43,36 @@ from .thread import ThreadContext, ThreadMode
 #: Event kinds in the cycle-indexed event table.
 _EV_COMPLETE = 0
 _EV_L2_DETECT = 1
+
+#: Raw op code of SYNC (hot decode-drop test).
+_SYNC_CODE = int(OpClass.SYNC)
+
+#: Hoisted enum members / constants for the per-instruction hot paths
+#: (module-level loads are one LOAD_GLOBAL; enum attribute chains are not).
+_RUNAHEAD = ThreadMode.RUNAHEAD
+_NORMAL = ThreadMode.NORMAL
+#: Arch registers below this are INT (klass 0), at/above it FP (klass 1);
+#: equivalent to reg_class() without the enum construction.
+_NINT = NUM_INT_ARCH_REGS
+
+
+def _horizon_covers_on_cycle(policy_type: type) -> bool:
+    """May the fast path trust this policy's ``skip_horizon``?
+
+    True when, walking the MRO from the most-derived class, a
+    ``skip_horizon`` definition appears at or before the first
+    ``on_cycle`` definition — i.e. whoever last changed the per-cycle
+    behaviour also declared (or re-declared) the wakeup contract.
+    ``FetchPolicy`` itself defines both (no-op / None), so policies
+    without per-cycle behaviour are trivially safe.
+    """
+    for klass in policy_type.__mro__:
+        attrs = vars(klass)
+        if "skip_horizon" in attrs:
+            return True
+        if "on_cycle" in attrs:
+            return False
+    return True
 
 #: Cycles without a single commit before the deadlock guard trips.
 _DEADLOCK_WINDOW = 100_000
@@ -78,6 +107,12 @@ class SMTPipeline:
         self.fus = FUPool(config.int_units, config.fp_units,
                           config.ldst_units)
         self.mem = MemoryHierarchy(config, self.num_threads)
+        # I-cache line index as a shift when line size is a power of two
+        # (the fetch loop computes it per instruction); -1 falls back to
+        # division.
+        iline = config.icache.line_bytes
+        self._iline_shift = (iline.bit_length() - 1
+                             if iline & (iline - 1) == 0 else -1)
         self.predictor = PerceptronPredictor(
             config.predictor_entries, config.predictor_history,
             self.num_threads)
@@ -102,6 +137,28 @@ class SMTPipeline:
         self._last_commit_cycle = 0
         self._fold_worklist: List[DynInst] = []
 
+        #: Event-driven cycle skipping (see :meth:`advance`).  On by
+        #: default; benchmarks flip it off to time the per-cycle model.
+        self.cycle_skip = True
+        self.skipped_cycles = 0   # idle cycles jumped over, bulk-accounted
+        self.skip_jumps = 0       # number of jumps taken
+        # A policy with per-cycle behaviour (an on_cycle override) must
+        # declare its wakeups via skip_horizon, or skipping would jump
+        # over cycles it needed to observe; unknown policies therefore
+        # disable the fast path rather than risk divergence.  The check
+        # is MRO-aware: a subclass overriding on_cycle below an
+        # inherited skip_horizon gets the fast path disabled too — the
+        # parent's horizon says nothing about the child's behaviour.
+        from ..policies.base import FetchPolicy
+        policy_type = type(policy)
+        overrides_on_cycle = policy_type.on_cycle is not FetchPolicy.on_cycle
+        self._policy_has_horizon = (policy_type.skip_horizon
+                                    is not FetchPolicy.skip_horizon)
+        self._policy_skip_ok = _horizon_covers_on_cycle(policy_type)
+        # Avoid a no-op bound-method call per cycle for the many policies
+        # that never override on_cycle.
+        self._policy_on_cycle = policy.on_cycle if overrides_on_cycle else None
+
     # ------------------------------------------------------------------ cycle
 
     def step(self) -> None:
@@ -109,7 +166,8 @@ class SMTPipeline:
         now = self.cycle
         self.fus.new_cycle()
         self._process_events(now)
-        self.policy.on_cycle(now)
+        if self._policy_on_cycle is not None:
+            self._policy_on_cycle(now)
         self._commit_stage(now)
         self._issue_stage(now)
         self._dispatch_stage(now)
@@ -118,6 +176,173 @@ class SMTPipeline:
         self.cycle = now + 1
         if now - self._last_commit_cycle > _DEADLOCK_WINDOW:
             raise DeadlockError(now, "no instruction committed recently")
+
+    # ------------------------------------------------------- cycle skipping
+
+    def advance(self, limit: Optional[int] = None) -> None:
+        """One :meth:`step`, then jump over provably idle cycles.
+
+        After the stepped cycle, if the machine is *quiescent* — no
+        issue-queue entry is ready, no ROB head is completed, no thread
+        can fetch or dispatch, and the policy declares no wakeup — then
+        nothing can happen until the next entry in the cycle-indexed
+        event table (or a fetch gate expiring, a runahead exit falling
+        due, or the policy's :meth:`~repro.policies.base.FetchPolicy.
+        skip_horizon`).  ``self.cycle`` jumps straight there, with the
+        per-cycle statistics (register-occupancy samples, runahead
+        cycles, stall/conflict counters) bulk-accounted so results are
+        bit-identical to stepping every cycle (see
+        ``tests/test_golden_digest.py``).
+
+        ``limit`` clamps the jump target (the FAME runner passes its
+        ``max_cycles`` cap so truncated runs report the same cycle
+        count).  The deadlock guard also clamps the target, so a truly
+        dead machine still raises :class:`DeadlockError` at the exact
+        cycle the per-cycle model would have.
+
+        :meth:`step` keeps strict one-cycle semantics for tests and
+        debugging; this is the loop the FAME runner drives.
+        """
+        if not (self.cycle_skip and self._policy_skip_ok):
+            self.step()
+            return
+        gseq_before = self._gseq
+        gstats = self.gstats
+        committed_before = gstats.committed
+        executed_before = gstats.executed
+        self.step()
+        # Activity precheck: a cycle that fetched, issued or committed
+        # anything cannot open an idle window, so skip the full
+        # quiescence scan (the overwhelmingly common case while busy).
+        if (self._gseq != gseq_before
+                or gstats.committed != committed_before
+                or gstats.executed != executed_before):
+            return
+        start = self.cycle
+        target = self._skip_target(start, limit)
+        if target > start:
+            self._skip_to(start, target)
+
+    def _skip_target(self, start: int, limit: Optional[int]) -> int:
+        """Latest cycle before which provably nothing can happen.
+
+        Returns ``start`` when any structure could act next cycle (the
+        machine is not quiescent).
+        """
+        if self._fold_worklist:
+            return start
+        for queue in self.queues:
+            if queue.has_ready():
+                return start
+
+        bound = self._last_commit_cycle + _DEADLOCK_WINDOW + 1
+        if limit is not None and limit < bound:
+            bound = limit
+        uses_runahead = self.policy.uses_runahead
+        rob_windows = self.rob._queues   # read-only peek at the heads
+        buffer_size = self.config.fetch_buffer_size
+        for thread in self.threads:
+            # Ordered by how often a busy machine bails on each test.
+            if len(thread.fetch_queue) < buffer_size:
+                fetchable_at = thread.fetch_blocked_until
+                if thread.fetch_gated_until > fetchable_at:
+                    fetchable_at = thread.fetch_gated_until
+                if fetchable_at <= start:
+                    return start            # fetch possible this cycle
+                if fetchable_at < bound:
+                    bound = fetchable_at
+            window = rob_windows[thread.tid]
+            if window:
+                head = window[0]
+                if head.state == InstState.COMPLETED:
+                    return start            # commit / pseudo-retire due
+                if (uses_runahead and thread.mode is _NORMAL
+                        and self.runahead.should_enter(thread, head, start)):
+                    return start            # runahead entry due
+            if thread.mode is _RUNAHEAD:
+                ready = thread.runahead_trigger_ready
+                if ready <= start:
+                    return start            # exit falls due this cycle
+                if ready < bound:
+                    bound = ready
+            if thread.fetch_queue and not self._dispatch_blocked(thread):
+                return start                # dispatch possible this cycle
+        if self._events:
+            next_event = min(self._events)
+            if next_event <= start:
+                return start                # defensive; events are future
+            if next_event < bound:
+                bound = next_event
+        if self._policy_has_horizon:
+            horizon = self.policy.skip_horizon(start)
+            if horizon is not None:
+                if horizon <= start:
+                    return start            # policy acts this cycle
+                if horizon < bound:
+                    bound = horizon
+        return bound
+
+    def _dispatch_blocked(self, thread: ThreadContext) -> bool:
+        """Would the thread's next dispatch fail for an event-stable reason?
+
+        Mirrors :meth:`_dispatch`'s failure paths.  Each blocking
+        resource (ROB entries, issue-queue entries, rename registers)
+        can only be released by a completion event, a runahead exit, or
+        a policy wakeup — all of which clamp the skip target — so a
+        blocked verdict holds for the whole skipped window.
+        """
+        if self.rob.is_full():
+            return True
+        inst = thread.fetch_queue[0]
+        op = inst.op
+        if thread.in_runahead and (
+                (self.runahead.fp_invalidation and IS_FP_BY_CODE[op])
+                or op == _SYNC_CODE):
+            return False   # decode-drop needs only a ROB slot: would proceed
+        if self.queues[OP_QUEUE_BY_CODE[op]].is_full():
+            return True
+        if inst.dest_arch != NO_REG:
+            file = self.int_file \
+                if reg_class(inst.dest_arch) == RegClass.INT else self.fp_file
+            if file.free_count == 0:
+                return True
+        return False
+
+    def _skip_to(self, start: int, target: int) -> None:
+        """Jump from ``start`` to ``target``, bulk-accounting the idle
+        cycles exactly as ``target - start`` no-op steps would have.
+        """
+        k = target - start
+        stalled_threads = 0
+        conflicts = 0
+        for thread in self.threads:
+            held = thread.regs_held[0] + thread.regs_held[1]
+            stats = thread.stats
+            if thread.in_runahead:
+                stats.runahead_cycles += k
+                stats.runahead_reg_samples += k
+                stats.runahead_regs_held += k * held
+            else:
+                stats.normal_reg_samples += k
+                stats.normal_regs_held += k * held
+            if thread.fetch_queue:
+                stalled_threads += 1
+            gate = thread.fetch_blocked_until
+            if thread.fetch_gated_until > gate:
+                gate = thread.fetch_gated_until
+            if gate > start:
+                # can_fetch() is false until the gate expires; policies
+                # that re-gate every cycle (hill climbing) would keep it
+                # false longer, but only this conservative count is
+                # derivable from frozen state (gstats are diagnostics,
+                # not part of SimResult).
+                conflicts += k if gate - start > k else gate - start
+        self.gstats.cycles += k
+        self.gstats.dispatch_stalls += k * stalled_threads
+        self.gstats.fetch_conflicts += conflicts
+        self.skipped_cycles += k
+        self.skip_jumps += 1
+        self.cycle = target
 
     # --------------------------------------------------------------- events
 
@@ -151,13 +376,12 @@ class SMTPipeline:
             inst.l2_counted = False
             thread.pending_l2_misses -= 1
         if inst.pdest != NO_REG:
-            file = self.int_file if reg_class(inst.dest_arch) == RegClass.INT \
-                else self.fp_file
+            file = self.int_file if inst.dest_arch < _NINT else self.fp_file
             woken = file.set_ready(inst.pdest, now, invalid=inst.invalid)
             for waiter in woken:
                 self._src_ready(waiter, now, inst.pdest, inst.invalid)
-            if inst.invalid and self.threads[inst.tid].in_runahead:
-                self._recycle_runahead_dest(self.threads[inst.tid], inst)
+            if inst.invalid and thread.mode is _RUNAHEAD:
+                self._recycle_runahead_dest(thread, inst)
         if inst.is_branch and not inst.invalid and inst.mispredicted:
             self._resolve_misprediction(inst, now)
 
@@ -190,7 +414,7 @@ class SMTPipeline:
             self._fold_worklist.append(inst)
         else:
             inst.state = InstState.READY
-            self.queues[OP_QUEUE[OpClass(inst.op)]].mark_ready(inst)
+            self.queues[OP_QUEUE_BY_CODE[inst.op]].mark_ready(inst)
 
     def _operands_invalid(self, inst: DynInst) -> bool:
         """Fold test: does any operand needed for execution carry INV?
@@ -212,19 +436,18 @@ class SMTPipeline:
         inst.state = InstState.COMPLETED
         inst.complete_cycle = now
         if inst.in_iq:
-            self.queues[OP_QUEUE[OpClass(inst.op)]].remove(inst)
+            self.queues[OP_QUEUE_BY_CODE[inst.op]].remove(inst)
         self._uncount(inst)
         thread = self.threads[inst.tid]
         # Folded instructions never execute (paper §3.1), so they are kept
         # out of the executed-instruction energy proxy.
         thread.stats.folded += 1
         if inst.pdest != NO_REG:
-            file = self.int_file if reg_class(inst.dest_arch) == RegClass.INT \
-                else self.fp_file
+            file = self.int_file if inst.dest_arch < _NINT else self.fp_file
             woken = file.set_ready(inst.pdest, now, invalid=True)
             for waiter in woken:
                 self._src_ready(waiter, now, inst.pdest, True)
-            if thread.in_runahead:
+            if thread.mode is _RUNAHEAD:
                 self._recycle_runahead_dest(thread, inst)
 
     def _drain_folds(self, now: int) -> None:
@@ -245,7 +468,8 @@ class SMTPipeline:
         start = now % self.num_threads
         for offset in range(self.num_threads):
             thread = self.threads[(start + offset) % self.num_threads]
-            if self.runahead.should_exit(thread, now):
+            if (thread.mode is _RUNAHEAD            # inlined should_exit
+                    and now >= thread.runahead_trigger_ready):
                 self.runahead.exit(thread, now)
                 continue
             budget = self._commit_thread(thread, now, budget)
@@ -254,11 +478,10 @@ class SMTPipeline:
 
     def _commit_thread(self, thread: ThreadContext, now: int,
                        budget: int) -> int:
-        rob = self.rob
-        tid = thread.tid
-        while budget > 0 and not rob.is_empty(tid):
-            head = rob.head(tid)
-            if thread.mode == ThreadMode.NORMAL:
+        window = self.rob._queues[thread.tid]   # peek; pops go via pop_head
+        while budget > 0 and window:
+            head = window[0]
+            if thread.mode is _NORMAL:
                 if head.state == InstState.COMPLETED:
                     self._commit(thread, head, now)
                     budget -= 1
@@ -286,15 +509,19 @@ class SMTPipeline:
         self.gstats.committed += 1
         self._last_commit_cycle = now
         if inst.pdest != NO_REG:
-            klass = reg_class(inst.dest_arch)
-            arch_index = inst.dest_arch if klass == RegClass.INT \
-                else inst.dest_arch - 32
+            dest_arch = inst.dest_arch
+            if dest_arch < _NINT:
+                klass = 0
+                arch_index = dest_arch
+            else:
+                klass = 1
+                arch_index = dest_arch - _NINT
             old = thread.rename.commit_dest(klass, arch_index, inst.pdest)
             if old != inst.pdest:
                 self._release_preg(thread, klass, old)
         if inst.is_store:
             self.mem.data_access(inst.addr, True, now, thread.tid)
-        if inst.trace_index == len(thread.trace) - 1:
+        if inst.trace_index == thread.last_index:
             thread.finished_passes += 1
             thread.stats.passes += 1
 
@@ -307,8 +534,10 @@ class SMTPipeline:
         self._last_commit_cycle = now  # forward progress, albeit speculative
         if inst.dest_arch == NO_REG:
             return
-        klass = reg_class(inst.dest_arch)
-        file = self.int_file if klass == RegClass.INT else self.fp_file
+        if inst.dest_arch < _NINT:
+            klass, file = 0, self.int_file
+        else:
+            klass, file = 1, self.fp_file
         if inst.old_pdest != NO_REG and not file.pinned[inst.old_pdest]:
             self._release_preg(thread, klass, inst.old_pdest)
         self._recycle_runahead_dest(thread, inst)
@@ -326,8 +555,10 @@ class SMTPipeline:
             thread.pending_l2_misses -= 1
         # Bogus INV value: dependents fold as they wake.
         if trigger.pdest != NO_REG:
-            klass = reg_class(trigger.dest_arch)
-            file = self.int_file if klass == RegClass.INT else self.fp_file
+            if trigger.dest_arch < _NINT:
+                klass, file = 0, self.int_file
+            else:
+                klass, file = 1, self.fp_file
             woken = file.set_ready(trigger.pdest, now, invalid=True)
             for waiter in woken:
                 self._src_ready(waiter, now, trigger.pdest, True)
@@ -348,7 +579,7 @@ class SMTPipeline:
 
     def _release_preg(self, thread: ThreadContext, klass: int,
                       preg: int) -> None:
-        file = self.int_file if klass == RegClass.INT else self.fp_file
+        file = self.int_file if klass == 0 else self.fp_file
         file.release(preg)
         thread.regs_held[klass] -= 1
 
@@ -365,12 +596,14 @@ class SMTPipeline:
         """
         if inst.pdest == NO_REG:
             return
-        klass = reg_class(inst.dest_arch)
-        file = self.int_file if klass == RegClass.INT else self.fp_file
+        if inst.dest_arch < _NINT:
+            klass, file = 0, self.int_file
+            arch_index = inst.dest_arch
+        else:
+            klass, file = 1, self.fp_file
+            arch_index = inst.dest_arch - _NINT
         if file.pinned[inst.pdest]:
             return
-        arch_index = inst.dest_arch if klass == RegClass.INT \
-            else inst.dest_arch - 32
         front = thread.rename.front[klass]
         if front[arch_index] != inst.pdest:
             return
@@ -381,17 +614,15 @@ class SMTPipeline:
 
     # --------------------------------------------------------------- issue
 
-    _QUEUE_FU = {
-        IssueQueueKind.INT: FUKind.INT,
-        IssueQueueKind.FP: FUKind.FP,
-        IssueQueueKind.LS: FUKind.LDST,
-    }
-
     def _issue_stage(self, now: int) -> None:
-        for queue_kind in (IssueQueueKind.LS, IssueQueueKind.INT,
-                           IssueQueueKind.FP):
+        # IssueQueueKind and FUKind coincide numerically (INT/FP + LS/LDST),
+        # so the queue index doubles as the FU pool index.
+        available = self.fus._available
+        for queue_kind in (2, 0, 1):     # LS first, then INT, FP
             queue = self.queues[queue_kind]
-            budget = self.fus.available(self._QUEUE_FU[queue_kind])
+            if not queue._ready:
+                continue
+            budget = available[queue_kind]
             if budget <= 0:
                 continue
             for inst in queue.take_ready(budget):
@@ -407,15 +638,18 @@ class SMTPipeline:
         elif inst.is_store:
             self._issue_store(thread, inst, now)
         else:
-            latency = OP_LATENCY[OpClass(inst.op)]
+            latency = OP_LATENCY_BY_CODE[inst.op]
             inst.complete_cycle = now + latency
             self.schedule(inst.complete_cycle, _EV_COMPLETE, inst)
         self.fus.acquire(inst.op)
         inst.state = InstState.ISSUED
         queue.remove(inst)
-        self._uncount(inst)
-        thread.stats.issued += 1
-        thread.stats.executed += 1
+        if inst.counted:   # inlined _uncount
+            inst.counted = False
+            thread.icount -= 1
+        stats = thread.stats
+        stats.issued += 1
+        stats.executed += 1
         self.gstats.executed += 1
 
     def _issue_store(self, thread: ThreadContext, inst: DynInst,
@@ -425,7 +659,7 @@ class SMTPipeline:
         prefetch their line and feed the runahead cache (§3.3)."""
         inst.complete_cycle = now + 1
         self.schedule(inst.complete_cycle, _EV_COMPLETE, inst)
-        if thread.in_runahead:
+        if thread.mode is _RUNAHEAD:
             data_valid = not (inst.src_inv_mask & 2)
             self.runahead.on_runahead_store(thread, inst, data_valid)
             if self.runahead.prefetch:
@@ -435,7 +669,7 @@ class SMTPipeline:
     def _issue_load(self, thread: ThreadContext, inst: DynInst,
                     queue: IssueQueue, now: int) -> bool:
         """Issue a load; returns False if it must retry (MSHRs full)."""
-        if thread.in_runahead:
+        if thread.mode is _RUNAHEAD:
             self._issue_runahead_load(thread, inst, now)
             return True
         result = self.mem.data_access(inst.addr, False, now, thread.tid)
@@ -537,16 +771,19 @@ class SMTPipeline:
     def _squash_rob_entry(self, thread: ThreadContext,
                           inst: DynInst) -> None:
         if inst.in_iq:
-            self.queues[OP_QUEUE[OpClass(inst.op)]].remove(inst)
+            self.queues[OP_QUEUE_BY_CODE[inst.op]].remove(inst)
         self._uncount(inst)
         if inst.l2_counted:
             inst.l2_counted = False
             thread.pending_l2_misses -= 1
         thread.rob_held -= 1
         if inst.pdest != NO_REG:
-            klass = reg_class(inst.dest_arch)
-            arch_index = inst.dest_arch if klass == RegClass.INT \
-                else inst.dest_arch - 32
+            if inst.dest_arch < _NINT:
+                klass = 0
+                arch_index = inst.dest_arch
+            else:
+                klass = 1
+                arch_index = inst.dest_arch - _NINT
             thread.rename.undo_rename(klass, arch_index, inst.old_pdest)
             self._release_preg(thread, klass, inst.pdest)
         inst.state = InstState.SQUASHED
@@ -573,39 +810,40 @@ class SMTPipeline:
     def _dispatch(self, thread: ThreadContext, inst: DynInst,
                   now: int) -> bool:
         """Rename and insert one instruction; False if resources lack."""
-        if self.rob.is_full():
+        rob = self.rob
+        if rob._occupancy >= rob.capacity:   # inlined is_full
             return False
-        op = OpClass(inst.op)
+        op = inst.op
 
-        drop_at_decode = thread.in_runahead and (
-            (self.runahead.fp_invalidation and op in FP_OPS)
-            or op is OpClass.SYNC)
+        drop_at_decode = thread.mode is _RUNAHEAD and (
+            (self.runahead.fp_invalidation and IS_FP_BY_CODE[op])
+            or op == _SYNC_CODE)
         if drop_at_decode:
             # §3.3: FP compute and synchronization ops in runahead use no
             # resources past decode — straight to pseudo-commit, INV.
-            self.rob.append(inst)
+            self._rob_append(rob, inst)
             thread.rob_held += 1
             inst.state = InstState.COMPLETED
             inst.invalid = True
             inst.complete_cycle = now
             self._uncount(inst)
-            if op in FP_OPS and inst.dest_arch != NO_REG:
+            if IS_FP_BY_CODE[op] and inst.dest_arch != NO_REG:
                 thread.note_arch_invalid(inst.dest_arch, True)
             thread.stats.dispatched += 1
             thread.stats.folded += 1
             return True
 
-        queue = self.queues[OP_QUEUE[op]]
+        queue = self.queues[OP_QUEUE_BY_CODE[op]]
         if queue.is_full():
             return False
+        dest_arch = inst.dest_arch
         dest_file: Optional[PhysRegFile] = None
-        if inst.dest_arch != NO_REG:
-            dest_file = self.int_file \
-                if reg_class(inst.dest_arch) == RegClass.INT else self.fp_file
-            if dest_file.free_count == 0:
+        if dest_arch != NO_REG:
+            dest_file = self.int_file if dest_arch < _NINT else self.fp_file
+            if not dest_file._free:   # free_count == 0, sans property call
                 return False
 
-        self.rob.append(inst)
+        self._rob_append(rob, inst)
         thread.rob_held += 1
         inst.state = InstState.DISPATCHED
         thread.stats.dispatched += 1
@@ -617,15 +855,18 @@ class SMTPipeline:
 
         if dest_file is not None:
             preg = dest_file.alloc()
-            klass = reg_class(inst.dest_arch)
-            arch_index = inst.dest_arch if klass == RegClass.INT \
-                else inst.dest_arch - 32
+            if dest_arch < _NINT:
+                klass = 0
+                arch_index = dest_arch
+            else:
+                klass = 1
+                arch_index = dest_arch - _NINT
             inst.pdest = preg
             inst.old_pdest = thread.rename.rename_dest(klass, arch_index,
                                                        preg)
             thread.regs_held[klass] += 1
             # A renamed write supersedes any early-reclaimed INV producer.
-            thread.note_arch_invalid(inst.dest_arch, False)
+            thread.arch_inv[dest_arch] = False
 
         queue.insert(inst)
         if pending == 0:
@@ -636,31 +877,40 @@ class SMTPipeline:
                 queue.mark_ready(inst)
         return True
 
+    @staticmethod
+    def _rob_append(rob: SharedROB, inst: DynInst) -> None:
+        """ROB insert with the capacity check already done by the caller."""
+        rob._queues[inst.tid].append(inst)
+        rob._occupancy += 1
+        rob.per_thread[inst.tid] += 1
+
     def _rename_source(self, thread: ThreadContext, inst: DynInst,
                        which: int, now: int) -> int:
         """Rename one source; returns 1 if the operand is outstanding."""
         arch = inst.src1_arch if which == 1 else inst.src2_arch
         if arch == NO_REG:
             return 0
-        if thread.arch_is_invalid(arch):
+        if thread.arch_inv[arch]:
             # The producer's register was reclaimed early (INV recycling or
             # FP decode drop): the value is INV at architectural level;
             # nothing to wait for, no register to read.
             inst.src_inv_mask |= which
             return 0
-        klass = reg_class(arch)
-        arch_index = arch if klass == RegClass.INT else arch - 32
-        preg = thread.rename.lookup(klass, arch_index)
-        file = self.int_file if klass == RegClass.INT else self.fp_file
+        if arch < _NINT:
+            file = self.int_file
+            preg = thread.rename.front[0][arch]
+        else:
+            file = self.fp_file
+            preg = thread.rename.front[1][arch - _NINT]
         if which == 1:
             inst.psrc1 = preg
         else:
             inst.psrc2 = preg
-        if file.is_ready(preg, now):
+        if file.ready[preg] <= now:
             if file.inv[preg]:
                 inst.src_inv_mask |= which
             return 0
-        file.add_waiter(preg, inst)
+        file.waiters[preg].append(inst)
         return 1
 
     # --------------------------------------------------------------- fetch
@@ -670,13 +920,16 @@ class SMTPipeline:
         fetched_total = 0
         threads_used = 0
         width = self.config.width
+        fetch_threads = self.config.fetch_threads
+        threads = self.threads
         for tid in order:
-            if threads_used >= self.config.fetch_threads:
+            if threads_used >= fetch_threads:
                 break
             if fetched_total >= width:
                 break
-            thread = self.threads[tid]
-            if not thread.can_fetch(now):
+            thread = threads[tid]
+            if (now < thread.fetch_blocked_until     # inlined can_fetch
+                    or now < thread.fetch_gated_until):
                 self.gstats.fetch_conflicts += 1
                 continue
             taken = self._fetch_thread(thread, now, width - fetched_total)
@@ -689,26 +942,32 @@ class SMTPipeline:
         count = 0
         buffer_room = self.config.fetch_buffer_size - len(thread.fetch_queue)
         limit = min(limit, buffer_room)
-        trace = thread.trace
+        pcs = thread.pcs
+        code_offset = thread.code_offset
+        iline_shift = self._iline_shift
+        icache_done = now + self.config.icache.latency
+        stats = thread.stats
+        fetch_queue = thread.fetch_queue
         while count < limit:
-            pc = int(trace.pc[thread.cursor]) + thread.code_offset
-            line = self.mem.icache.line_of(pc)
+            pc = pcs[thread.cursor] + code_offset
+            line = (pc >> iline_shift if iline_shift >= 0
+                    else pc // self.config.icache.line_bytes)
             if line != thread.fetch_line:
                 result = self.mem.ifetch(pc, now, thread.tid,
-                                         speculative=thread.in_runahead)
+                                         speculative=thread.mode is _RUNAHEAD)
                 thread.fetch_line = line
-                if result.complete_cycle > now + self.config.icache.latency:
+                if result.complete_cycle > icache_done:
                     thread.block_fetch_until(result.complete_cycle)
                     break
             inst = thread.next_inst(self._gseq)
             self._gseq += 1
             inst.counted = True
             thread.icount += 1
-            thread.stats.fetched += 1
-            thread.fetch_queue.append(inst)
+            stats.fetched += 1
+            fetch_queue.append(inst)
             count += 1
             if inst.is_branch:
-                thread.stats.branches += 1
+                stats.branches += 1
                 correct = self.predictor.predict(thread.tid, inst.pc,
                                                  inst.taken)
                 inst.mispredicted = not correct
@@ -726,7 +985,7 @@ class SMTPipeline:
         for thread in self.threads:
             held = thread.regs_held[0] + thread.regs_held[1]
             stats = thread.stats
-            if thread.in_runahead:
+            if thread.mode is _RUNAHEAD:
                 stats.runahead_cycles += 1
                 stats.runahead_reg_samples += 1
                 stats.runahead_regs_held += held

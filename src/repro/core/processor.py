@@ -227,6 +227,11 @@ class SMTProcessor:
             max_cycles: Optional[int] = None) -> SimResult:
         """Run under FAME: stop once every thread finished ``min_passes``
         full trace executions (or at the cycle cap, flagged ``truncated``).
+
+        The loop drives :meth:`SMTPipeline.advance`, so stretches where
+        every thread is blocked on memory are jumped over in one go
+        (event-driven cycle skipping) instead of being stepped cycle by
+        cycle; results are bit-identical either way.
         """
         if min_passes < 1:
             raise SimulationError("min_passes must be >= 1")
@@ -238,7 +243,7 @@ class SMTProcessor:
             if pipeline.cycle >= cap:
                 truncated = True
                 break
-            pipeline.step()
+            pipeline.advance(cap)
         return self._result(truncated)
 
     def _result(self, truncated: bool) -> SimResult:

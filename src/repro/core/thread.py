@@ -48,10 +48,11 @@ class ThreadContext:
 
     __slots__ = (
         "tid", "trace", "rename", "mode", "stats", "_pass_stride",
+        "ops", "dests", "src1s", "src2s", "addrs", "takens", "pcs",
         "cursor", "pass_no", "seq",
         "fetch_queue", "fetch_blocked_until", "fetch_gated_until",
         "fetch_line", "fetch_line_ready",
-        "icount", "regs_held", "rob_held",
+        "icount", "regs_held", "rob_held", "last_index",
         "runahead_trigger_ready", "runahead_trigger_index",
         "runahead_trigger_pass", "no_retrigger", "arch_inv",
         "pending_l2_misses", "finished_passes",
@@ -63,6 +64,9 @@ class ThreadContext:
         self.tid = tid
         self.trace = trace
         self.rename = rename
+        # Hot per-instruction fetch views (plain lists, shared per trace).
+        (self.ops, self.dests, self.src1s, self.src2s,
+         self.addrs, self.takens, self.pcs) = trace.hot_columns()
         self._pass_stride = PASS_STRIDE_BYTES if pass_shift else 0
         self.mode = ThreadMode.NORMAL
         self.stats = ThreadStats()
@@ -80,6 +84,7 @@ class ThreadContext:
         self.icount = 0                # instructions in pre-issue stages
         self.regs_held = [0, 0]        # INT, FP rename registers in use
         self.rob_held = 0
+        self.last_index = len(trace) - 1   # pass boundary (commit hot path)
 
         self.runahead_trigger_ready = -1
         self.runahead_trigger_index = -1
@@ -105,29 +110,22 @@ class ThreadContext:
 
     def next_inst(self, gseq: int) -> DynInst:
         """Materialize the next trace instruction at the fetch cursor."""
-        trace = self.trace
         index = self.cursor
+        # Positional DynInst construction: this is the hottest allocation
+        # in the simulator (one per fetched instruction).
         inst = DynInst(
-            tid=self.tid,
-            seq=self.seq,
-            trace_index=index,
-            pass_no=self.pass_no,
-            op=int(trace.op[index]),
-            pc=int(trace.pc[index]) + self.code_offset,
-            addr=0,
-            dest_arch=int(trace.dest[index]),
-            src1_arch=int(trace.src1[index]),
-            src2_arch=int(trace.src2[index]),
-            taken=bool(trace.taken[index]),
+            self.tid, self.seq, index, self.pass_no,
+            self.ops[index], self.pcs[index] + self.code_offset, 0,
+            self.dests[index], self.src1s[index], self.src2s[index],
+            self.takens[index],
         )
         inst.gseq = gseq
         if inst.is_mem:
-            inst.addr = self.physical_addr(int(trace.addr[index]),
-                                           self.pass_no)
+            inst.addr = self.physical_addr(self.addrs[index], self.pass_no)
         inst.runahead = self.in_runahead
         self.seq += 1
         self.cursor += 1
-        if self.cursor >= len(self.trace):
+        if self.cursor >= len(self.ops):
             self.cursor = 0
             self.pass_no += 1
         return inst

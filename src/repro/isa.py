@@ -146,6 +146,38 @@ OP_FU = {
 }
 
 
+# --- hot-path lookup tables -------------------------------------------------
+#
+# The pipeline touches these once or more per dynamic instruction.  The
+# dict-of-enum tables above are the readable source of truth; the tuples
+# below are the same data indexed by the raw integer op code, so the hot
+# loops never construct an OpClass (enum __call__ is ~10x a tuple index).
+
+#: OP_LATENCY indexed by ``int(op)``.
+OP_LATENCY_BY_CODE = tuple(OP_LATENCY[OpClass(code)]
+                           for code in range(len(OpClass)))
+
+#: OP_QUEUE indexed by ``int(op)`` (values are plain ints).
+OP_QUEUE_BY_CODE = tuple(int(OP_QUEUE[OpClass(code)])
+                         for code in range(len(OpClass)))
+
+#: OP_FU indexed by ``int(op)`` (values are plain ints).
+OP_FU_BY_CODE = tuple(int(OP_FU[OpClass(code)])
+                      for code in range(len(OpClass)))
+
+#: Per-code membership flags for the frozensets above.
+IS_LOAD_BY_CODE = tuple(OpClass(code) in LOAD_OPS
+                        for code in range(len(OpClass)))
+IS_STORE_BY_CODE = tuple(OpClass(code) in STORE_OPS
+                         for code in range(len(OpClass)))
+IS_MEM_BY_CODE = tuple(OpClass(code) in MEMORY_OPS
+                       for code in range(len(OpClass)))
+IS_FP_BY_CODE = tuple(OpClass(code) in FP_OPS
+                      for code in range(len(OpClass)))
+IS_BRANCH_BY_CODE = tuple(OpClass(code) is OpClass.BRANCH
+                          for code in range(len(OpClass)))
+
+
 def is_memory_op(op: OpClass) -> bool:
     """True if ``op`` accesses data memory."""
     return op in MEMORY_OPS

@@ -23,7 +23,7 @@ from .cache import Cache
 from .mshr import MSHRFile
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class AccessResult:
     """Outcome of one memory access."""
 
@@ -33,7 +33,7 @@ class AccessResult:
     merged: bool = False  # satisfied by an already-outstanding fill
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class MemStats:
     """Per-thread memory statistics."""
 
@@ -56,6 +56,9 @@ class MemStats:
 
 class MemoryHierarchy:
     """Shared I/D L1s, unified L2 and main memory for all SMT threads."""
+
+    __slots__ = ("config", "icache", "dcache", "l2", "mshr",
+                 "memory_latency", "stats", "_prefetched_lines")
 
     def __init__(self, config: SMTConfig, num_threads: int) -> None:
         self.config = config

@@ -59,10 +59,13 @@ class MSHRFile:
     def allocate(self, line_addr: int, ready_cycle: int,
                  from_memory: bool, now: int) -> bool:
         """Reserve an entry for a new fill; False if the file is full."""
-        self.expire(now)
+        # Expire lazily: completed fills only need collecting when the
+        # file looks full (pending() already drops them on access).
         if len(self._entries) >= self.capacity:
-            self.rejects += 1
-            return False
+            self.expire(now)
+            if len(self._entries) >= self.capacity:
+                self.rejects += 1
+                return False
         self.allocations += 1
         self._entries[line_addr] = (ready_cycle, from_memory)
         return True

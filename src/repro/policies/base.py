@@ -15,7 +15,7 @@ A policy owns two decisions each cycle:
 
 from __future__ import annotations
 
-from typing import List, TYPE_CHECKING
+from typing import List, Optional, TYPE_CHECKING
 
 from ..config import SMTConfig
 
@@ -61,6 +61,24 @@ class FetchPolicy:
 
     def on_cycle(self, now: int) -> None:
         """Called once per cycle before the commit stage."""
+
+    def skip_horizon(self, now: int) -> Optional[int]:
+        """Earliest future cycle at which :meth:`on_cycle` must run.
+
+        The event-driven fast path (:meth:`SMTPipeline.advance
+        <repro.core.pipeline.SMTPipeline.advance>`) consults this before
+        jumping over provably idle cycles: ``on_cycle`` is *not* invoked
+        for cycles in ``[now, horizon)``.  ``None`` means the policy
+        needs no future wakeup; returning ``now`` forbids skipping this
+        cycle.
+
+        A policy that overrides :meth:`on_cycle` with per-cycle
+        behaviour MUST override this accordingly — otherwise the
+        pipeline disables cycle skipping entirely for that policy, which
+        is always safe but slow.  :meth:`fetch_order` must remain
+        side-effect-free: it is not called for skipped idle cycles.
+        """
+        return None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name!r}>"

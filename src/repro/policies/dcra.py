@@ -45,6 +45,12 @@ class DCRAPolicy(ICountPolicy):
             if self._over_entitlement(thread):
                 thread.gate_fetch_until(now + self._interval)
 
+    def skip_horizon(self, now: int) -> int:
+        # Entitlement is re-evaluated only on sampling-interval
+        # boundaries, so idle cycles between boundaries may be skipped.
+        remainder = now % self._interval
+        return now if remainder == 0 else now + (self._interval - remainder)
+
     # --- classification -----------------------------------------------------
 
     def _is_slow(self, thread) -> bool:

@@ -52,6 +52,15 @@ class HillClimbingPolicy(ICountPolicy):
         self._finish_epoch(score)
         self._enforce(now)
 
+    def skip_horizon(self, now: int) -> int:
+        # Learning happens only on epoch boundaries.  The per-cycle
+        # _enforce merely re-gates threads against occupancy counters
+        # that are frozen while the machine is idle, and on_cycle runs
+        # again at the wake cycle before any fetch — so skipping the
+        # intermediate calls is unobservable in the simulation outcome.
+        remainder = now % self._epoch
+        return now if remainder == 0 else now + (self._epoch - remainder)
+
     def _finish_epoch(self, score: float) -> None:
         num = len(self.threads)
         if self._trial < 0:

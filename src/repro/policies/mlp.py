@@ -14,7 +14,7 @@ window and decays when they are not.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from .icount import ICountPolicy
 
@@ -74,3 +74,14 @@ class MLPAwarePolicy(ICountPolicy):
             elif (self._window_end_fetch[tid] >= 0
                   and thread.stats.fetched >= self._window_end_fetch[tid]):
                 thread.gate_fetch_until(resolve)
+
+    def skip_horizon(self, now: int) -> Optional[int]:
+        # Window close (train + ungate) must run exactly at its resolve
+        # cycle.  The run-on gate test depends only on the fetched
+        # counter, which is frozen while the machine is idle, and is
+        # re-applied at the wake cycle before any fetch.
+        horizon: Optional[int] = None
+        for resolve in self._window_resolve:
+            if resolve > 0 and (horizon is None or resolve < horizon):
+                horizon = resolve
+        return horizon

@@ -33,7 +33,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..config import SMTConfig, baseline
 from ..core.processor import SMTProcessor, SimResult
-from ..trace.generator import generate_trace
+from ..trace.generator import TraceKey, generate_trace, prime_traces
+from ..trace.trace import Trace
 from ..trace.workloads import Workload
 from .runner import RunSpec, WorkloadRun, default_spec
 from .store import MemoryStore, ResultStore, cache_key
@@ -148,6 +149,29 @@ def simulate_cell(cell: SweepCell) -> SimResult:
                          max_cycles=cell.spec.max_cycles)
 
 
+def batch_traces(cells) -> Dict[TraceKey, Trace]:
+    """Generate every distinct trace a batch of cells needs, once.
+
+    Returns a ``(benchmark, trace_len, seed) -> Trace`` mapping; the
+    in-process :func:`generate_trace` memo makes repeats free.  Campaign
+    backends ship this mapping to their workers (ROADMAP "batch trace
+    generation"): a worker then deserializes each trace once instead of
+    regenerating it per cell.
+    """
+    traces: Dict[TraceKey, Trace] = {}
+    for cell in cells:
+        for name in cell.workload.benchmarks:
+            key = (name, cell.spec.trace_len, cell.spec.seed)
+            if key not in traces:
+                traces[key] = generate_trace(*key)
+    return traces
+
+
+def _prime_worker(traces: Dict[TraceKey, Trace]) -> None:
+    """Pool initializer: install the batch's traces in this worker."""
+    prime_traces(traces)
+
+
 class SerialBackend:
     """Execute cells one after another in this process."""
 
@@ -161,7 +185,14 @@ class SerialBackend:
 
 
 class ProcessPoolBackend:
-    """Fan independent cells out over a pool of worker processes."""
+    """Fan independent cells out over a pool of worker processes.
+
+    Every distinct (benchmark, trace_len, seed) trace the batch needs is
+    generated exactly once in the coordinating process and shipped to
+    the workers through the pool initializer, so no worker spends time
+    in the trace generator (results are identical either way — traces
+    are a pure function of their key).
+    """
 
     name = "process-pool"
 
@@ -175,7 +206,10 @@ class ProcessPoolBackend:
             SerialBackend().run(items, on_result)
             return
         workers = min(self.jobs, len(items))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        traces = batch_traces(cell for _, cell in items)
+        with ProcessPoolExecutor(max_workers=workers,
+                                 initializer=_prime_worker,
+                                 initargs=(traces,)) as pool:
             futures = {pool.submit(simulate_cell, cell): key
                        for key, cell in items}
             for future in as_completed(futures):

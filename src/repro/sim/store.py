@@ -16,21 +16,43 @@ stores below map those keys to results:
 Because :meth:`SimResult.to_dict` contains no floats, a disk round trip
 reconstructs results exactly; cached and freshly simulated campaigns are
 indistinguishable.
+
+Salt-bump policy
+----------------
+``CODE_VERSION_SALT`` participates in every cache key.  Bump it in the
+same change whenever the simulator *could* produce a different
+:class:`SimResult` for some cell — a timing-model change, a policy
+behaviour change, a trace-generator change, a config-default change —
+so stale on-disk entries silently miss instead of serving wrong
+results.  Bump it even when golden-digest tests still pass on their
+matrix (the matrix is a sample, not a proof), and whenever you
+re-record ``tests/data/golden_digests.json``.  Pure-performance
+refactors whose bit-identity is *guaranteed by construction and
+verified by the golden digests* may keep the salt, but when in doubt,
+bump: the only cost is one cold campaign, while a stale hit is a wrong
+figure.  Old-salt entries stay on disk until ``repro cache prune
+--stale-salts`` removes them.
+
+History: ``v1`` PR 1 (engine introduction) → ``v2`` PR 3 (event-driven
+cycle skipping + hot-path rework; results verified bit-identical, but
+the inner loop was rebuilt wholesale).
 """
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 import os
 import tempfile
-from typing import Dict, Optional
+import time
+from typing import Dict, Iterator, Optional
 
 from ..core.processor import SimResult
 
-#: Bump whenever a change to the simulator alters what a cell produces;
-#: stale on-disk entries then miss instead of serving wrong results.
-CODE_VERSION_SALT = "sim-engine-v1"
+#: Bump whenever a change to the simulator alters (or could alter) what a
+#: cell produces; see the salt-bump policy in the module docstring.
+CODE_VERSION_SALT = "sim-engine-v2"
 
 
 def canonical_json(payload) -> str:
@@ -102,6 +124,27 @@ class MemoryStore(ResultStore):
         self._results[key] = result
 
 
+@dataclasses.dataclass(frozen=True)
+class CacheEntry:
+    """Metadata of one on-disk result (``repro cache`` bookkeeping)."""
+
+    key: str
+    path: str
+    salt: Optional[str]   # None when the payload is unreadable/corrupt
+    mtime: float
+    size_bytes: int
+
+
+@dataclasses.dataclass
+class PruneResult:
+    """Outcome of a :meth:`DiskStore.prune` pass."""
+
+    examined: int = 0
+    removed: int = 0
+    bytes_freed: int = 0
+    kept: int = 0
+
+
 class DiskStore(ResultStore):
     """JSON-file store under ``root``, fronted by a memory layer.
 
@@ -141,6 +184,110 @@ class DiskStore(ResultStore):
             return None
         self._memory[key] = result
         return result
+
+    # --- maintenance (the `repro cache` subcommand) -----------------------
+
+    def entries(self, need_salt: bool = True) -> Iterator[CacheEntry]:
+        """Scan the on-disk entries (metadata only, memory layer aside).
+
+        Reading the salt means parsing every payload; callers that only
+        need file metadata (age-based pruning) pass ``need_salt=False``
+        to keep the scan at ``os.stat`` cost.
+        """
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for filename in filenames:
+                if not filename.endswith(".json"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                try:
+                    stat = os.stat(path)
+                except OSError:
+                    continue
+                salt: Optional[str] = None
+                if need_salt:
+                    try:
+                        with open(path, "r", encoding="utf-8") as handle:
+                            payload = json.load(handle)
+                        salt = payload.get("salt")
+                    except (OSError, ValueError):
+                        salt = None
+                yield CacheEntry(key=filename[:-len(".json")], path=path,
+                                 salt=salt, mtime=stat.st_mtime,
+                                 size_bytes=stat.st_size)
+
+    def stats(self) -> Dict:
+        """Aggregate store statistics, grouped by code-version salt."""
+        per_salt: Dict[str, Dict[str, int]] = {}
+        total_entries = 0
+        total_bytes = 0
+        oldest: Optional[float] = None
+        newest: Optional[float] = None
+        for entry in self.entries():
+            label = entry.salt if entry.salt is not None else "<corrupt>"
+            bucket = per_salt.setdefault(label,
+                                         {"entries": 0, "bytes": 0})
+            bucket["entries"] += 1
+            bucket["bytes"] += entry.size_bytes
+            total_entries += 1
+            total_bytes += entry.size_bytes
+            oldest = entry.mtime if oldest is None \
+                else min(oldest, entry.mtime)
+            newest = entry.mtime if newest is None \
+                else max(newest, entry.mtime)
+        return {
+            "root": self.root,
+            "current_salt": CODE_VERSION_SALT,
+            "entries": total_entries,
+            "bytes": total_bytes,
+            "oldest_mtime": oldest,
+            "newest_mtime": newest,
+            "by_salt": per_salt,
+        }
+
+    def prune(self, stale_salts: bool = False,
+              older_than_days: Optional[float] = None,
+              now: Optional[float] = None,
+              dry_run: bool = False) -> PruneResult:
+        """Delete entries written under old salts and/or too long ago.
+
+        Args:
+            stale_salts: Remove entries whose payload salt differs from
+                the current ``CODE_VERSION_SALT`` (including corrupt
+                payloads, which can never hit anyway).
+            older_than_days: Remove entries whose mtime is older than
+                this many days.
+            now: Reference timestamp for the age test (defaults to
+                ``time.time()``; tests pin it).
+            dry_run: Count what would go without deleting anything.
+
+        An entry is removed when it matches *any* enabled criterion.
+        At least one criterion must be enabled.
+        """
+        if not stale_salts and older_than_days is None:
+            raise ValueError(
+                "prune needs a criterion: stale_salts and/or "
+                "older_than_days")
+        reference = time.time() if now is None else now
+        cutoff = (reference - older_than_days * 86400.0
+                  if older_than_days is not None else None)
+        outcome = PruneResult()
+        for entry in self.entries(need_salt=stale_salts):
+            outcome.examined += 1
+            doomed = (stale_salts and entry.salt != CODE_VERSION_SALT) or \
+                     (cutoff is not None and entry.mtime < cutoff)
+            if not doomed:
+                outcome.kept += 1
+                continue
+            if not dry_run:
+                try:
+                    os.unlink(entry.path)
+                except OSError:
+                    outcome.kept += 1
+                    continue
+                self._memory.pop(entry.key, None)
+            outcome.removed += 1
+            outcome.bytes_freed += entry.size_bytes
+        return outcome
 
     def _save(self, key: str, result: SimResult) -> None:
         # Persisting is best-effort: the result is already in hand (and

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import functools
 import zlib
-from typing import List
+from typing import Dict, List, Mapping, Tuple
 
 import numpy as np
 
@@ -330,6 +330,29 @@ class TraceGenerator:
         return trace.validate()
 
 
+#: Key identifying one generated trace: (benchmark, length, seed).
+TraceKey = Tuple[str, int, int]
+
+#: Traces handed to this process by a campaign coordinator (see
+#: :func:`prime_traces`).  Checked before generating from scratch.
+_PRIMED: Dict[TraceKey, Trace] = {}
+
+
+def prime_traces(traces: Mapping[TraceKey, Trace]) -> None:
+    """Pre-seed this process's trace cache with already-built traces.
+
+    The parallel simulation backend generates each (benchmark, length,
+    seed) trace once in the coordinating process and ships the batch to
+    every worker at pool start-up, so workers deserialize instead of
+    regenerating — trace generation is O(length) in numpy RNG draws and
+    was repeated per (cell × worker) before.  Priming is an optimization
+    only: a missing entry falls back to deterministic regeneration, and
+    a primed trace is bit-identical to a regenerated one by the
+    generator's determinism guarantee.
+    """
+    _PRIMED.update(traces)
+
+
 @functools.lru_cache(maxsize=512)
 def generate_trace(name: str, length: int, seed: int = 0) -> Trace:
     """Generate (and memoize) the trace for benchmark ``name``.
@@ -337,4 +360,7 @@ def generate_trace(name: str, length: int, seed: int = 0) -> Trace:
     The cache makes repeated experiment sweeps cheap: every policy run of a
     given workload shares identical trace objects.
     """
+    primed = _PRIMED.get((name, length, seed))
+    if primed is not None:
+        return primed
     return TraceGenerator(get_profile(name), length, seed).generate()

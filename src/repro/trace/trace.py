@@ -42,7 +42,7 @@ class Trace:
     """
 
     __slots__ = ("name", "op", "dest", "src1", "src2", "addr", "taken",
-                 "pc", "data_region_bytes", "_length")
+                 "pc", "data_region_bytes", "_length", "_hot_columns")
 
     def __init__(self, name: str, columns: Dict[str, np.ndarray],
                  data_region_bytes: int = 0) -> None:
@@ -59,9 +59,34 @@ class Trace:
             array = np.asarray(columns[key], dtype=dtype)
             array.setflags(write=False)
             setattr(self, key, array)
+        self._hot_columns = None
 
     def __len__(self) -> int:
         return self._length
+
+    def __reduce__(self):
+        # Pickle as (name, columns, region): campaigns ship traces to
+        # pool workers, and the cached hot-column lists must not travel
+        # (each process rebuilds them lazily, far cheaper than the
+        # serialized bytes).
+        return (Trace,
+                (self.name,
+                 {key: getattr(self, key) for key in _COLUMNS},
+                 self.data_region_bytes))
+
+    def hot_columns(self):
+        """The columns as plain Python lists, in ``_COLUMNS`` order.
+
+        The fetch stage materializes one :class:`DynInst` per dynamic
+        instruction; indexing numpy arrays there would box a numpy
+        scalar per field per instruction.  The converted lists are
+        cached on the trace, so every thread (and every FAME pass)
+        shares one conversion.
+        """
+        if self._hot_columns is None:
+            self._hot_columns = tuple(
+                getattr(self, key).tolist() for key in _COLUMNS)
+        return self._hot_columns
 
     def instruction(self, index: int) -> TraceInstruction:
         """Row view of instruction ``index`` (supports negative indices)."""

@@ -153,6 +153,53 @@ class TestBackendDeterminism:
         assert run.throughput > 0
 
 
+class TestBatchTraceGeneration:
+    def test_batch_traces_covers_and_dedups(self):
+        from repro.sim.engine import batch_traces
+        cells = [SweepCell.make(WORKLOAD, "icount", spec=TINY),
+                 SweepCell.make(WORKLOAD, "rat", spec=TINY),
+                 SweepCell.make(MEM_WORKLOAD, "icount", spec=TINY)]
+        traces = batch_traces(cells)
+        expected = {(name, TINY.trace_len, TINY.seed)
+                    for cell in cells for name in cell.workload.benchmarks}
+        assert set(traces) == expected
+        for (name, length, _seed), trace in traces.items():
+            assert trace.name == name and len(trace) == length
+
+    def test_primed_trace_is_served_verbatim(self):
+        import repro.trace.generator as generator
+        trace = generator.generate_trace("gzip", 300, seed=3)
+        marker = generator.Trace(
+            "gzip",
+            {key: getattr(trace, key)
+             for key in ("op", "dest", "src1", "src2", "addr", "taken",
+                         "pc")},
+            data_region_bytes=trace.data_region_bytes)
+        generator.prime_traces({("gzip", 301, 3): marker})
+        try:
+            generator.generate_trace.cache_clear()
+            assert generator.generate_trace("gzip", 301, 3) is marker
+        finally:
+            generator._PRIMED.clear()
+            generator.generate_trace.cache_clear()
+
+    def test_trace_pickle_roundtrip_drops_hot_columns(self):
+        import pickle
+        from repro.trace.generator import generate_trace
+        trace = generate_trace("gzip", 300, seed=3)
+        trace.hot_columns()
+        clone = pickle.loads(pickle.dumps(trace))
+        assert clone._hot_columns is None
+        assert clone.name == trace.name
+        assert canonical_trace(clone) == canonical_trace(trace)
+
+
+def canonical_trace(trace) -> str:
+    return json.dumps({key: getattr(trace, key).tolist()
+                       for key in ("op", "dest", "src1", "src2", "addr",
+                                   "taken", "pc")})
+
+
 class TestResultStore:
     def test_second_sweep_performs_zero_simulations(self, tmp_path):
         cache = str(tmp_path / "cache")

@@ -116,7 +116,7 @@ class TestWarmup:
         trace = generate_trace("gzip", 600, 11)
         cpu = SMTProcessor(SMALL_CONFIG.with_policy("icount"), [trace])
         weights = cpu.pipeline.predictor._weights
-        assert (weights != 0).any()
+        assert any(w != 0 for row in weights for w in row)
 
 
 class TestEnvironmentKnobs:
