@@ -19,6 +19,11 @@ committed baseline (see ``benchmarks/``).
 The headline cell for the cycle-skipping work is ``mem2-stall``: a
 MEM-heavy 2-thread workload whose threads spend most of their time
 blocked on L2 misses — exactly the stretches the fast path jumps over.
+The runahead-heavy cells (``mem2-rat``, ``mem4-rat``) are the opposite
+regime and the headline for the intra-thread skip + hot-loop work: a
+RaT machine is busy nearly every cycle, so they gate the per-structure
+horizon fast path and the per-instruction hot paths; both are in the
+``--quick`` matrix so CI exercises them.
 """
 
 from __future__ import annotations
@@ -85,7 +90,10 @@ BENCH_CELLS = (
               "icount"),
     BenchCell("mem4-stall", "MEM4", ("applu", "art", "mcf", "twolf"),
               "stall"),
-    BenchCell("mem4-rat", "MEM4", ("applu", "art", "mcf", "twolf"), "rat"),
+    # quick=True: the runahead-heavy cells gate the intra-thread skip
+    # fast path in CI (mem2-rat above is quick already).
+    BenchCell("mem4-rat", "MEM4", ("applu", "art", "mcf", "twolf"), "rat",
+              quick=True),
     BenchCell("mix4-rat", "MIX4", ("ammp", "applu", "apsi", "eon"), "rat"),
 )
 
@@ -180,26 +188,33 @@ def run_bench(quick: bool = False, repeats: int = 3,
     }
     for cell in cells:
         timed = time_cell(cell, cycle_skip=True, repeats=repeats)
+        seconds = timed["seconds"]
+        cycles = timed["cycles"]
         entry = {
             "klass": cell.klass,
             "benchmarks": list(cell.benchmarks),
             "policy": cell.policy,
             "threads": cell.threads,
             "trace_len": cell.trace_len,
-            "seconds": timed["seconds"],
-            "normalized": timed["seconds"] / calibration,
-            "cycles": timed["cycles"],
+            "seconds": seconds,
+            "normalized": seconds / calibration,
+            "cycles": cycles,
             "committed": timed["committed"],
             "skipped_cycles": timed["skipped_cycles"],
             "skip_jumps": timed["skip_jumps"],
-            "skip_fraction": timed["skipped_cycles"] / timed["cycles"],
-            "sim_cycles_per_second": timed["cycles"] / timed["seconds"],
+            # Guarded ratios: a degenerate cell (0 simulated cycles, or a
+            # wall time below timer resolution) must produce a report, not
+            # a ZeroDivisionError.
+            "skip_fraction": (timed["skipped_cycles"] / cycles
+                              if cycles > 0 else 0.0),
+            "sim_cycles_per_second": (cycles / seconds
+                                      if seconds > 0 else 0.0),
         }
         if measure_noskip:
             reference = time_cell(cell, cycle_skip=False, repeats=repeats)
             entry["seconds_noskip"] = reference["seconds"]
-            entry["speedup_vs_noskip"] = (reference["seconds"]
-                                          / timed["seconds"])
+            entry["speedup_vs_noskip"] = (reference["seconds"] / seconds
+                                          if seconds > 0 else 0.0)
         report["cells"][cell.id] = entry
         if progress is not None:
             note = (f"  {cell.id}: {entry['seconds']:.3f}s "
@@ -243,6 +258,14 @@ def check_report(report: Dict, reference: Dict,
         ref = reference.get("cells", {}).get(cell_id)
         if ref is None or "normalized" not in ref:
             continue
+        if ref["normalized"] <= 0:
+            # A zero/negative reference cost can only come from a corrupt
+            # or hand-edited baseline; fail with a message, not a
+            # ZeroDivisionError.
+            failures.append(
+                f"{cell_id}: reference normalized cost is "
+                f"{ref['normalized']!r} (corrupt baseline?)")
+            continue
         ratio = entry["normalized"] / ref["normalized"]
         if ratio > tolerance:
             failures.append(
@@ -259,6 +282,10 @@ def compare_summary(report: Dict, reference: Dict) -> List[str]:
     for cell_id, entry in report["cells"].items():
         ref = reference.get("cells", {}).get(cell_id)
         if ref is None or "normalized" not in ref:
+            continue
+        if entry["normalized"] <= 0:
+            lines.append(f"  {cell_id}: current normalized cost is "
+                         f"{entry['normalized']!r}; no speedup computable")
             continue
         speedup = ref["normalized"] / entry["normalized"]
         lines.append(f"  {cell_id}: {speedup:.2f}x vs reference "

@@ -50,7 +50,7 @@ class DynInst:
         "op", "pc", "addr",
         "dest_arch", "src1_arch", "src2_arch",
         "pdest", "psrc1", "psrc2", "old_pdest",
-        "state", "invalid", "runahead",
+        "state", "invalid", "runahead", "replay",
         "pending_srcs", "in_iq", "counted", "l2_counted",
         "src_inv_mask",
         "complete_cycle", "l2_miss", "mispredicted", "taken",
@@ -81,6 +81,7 @@ class DynInst:
         self.state = InstState.FETCHED
         self.invalid = False        # runahead INV bit of the *result*
         self.runahead = False       # fetched while its thread ran ahead
+        self.replay = False         # ready load deferred on a full MSHR file
         self.pending_srcs = 0
         self.in_iq = False
         self.counted = False        # contributes to ICOUNT

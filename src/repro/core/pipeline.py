@@ -13,6 +13,7 @@ sweeps.
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
 from typing import Dict, List, Optional, Tuple
 
 from ..branch import BranchTargetBuffer, PerceptronPredictor
@@ -22,6 +23,7 @@ from ..isa import (
     IS_FP_BY_CODE,
     NO_REG,
     NUM_INT_ARCH_REGS,
+    OP_FU_BY_CODE,
     OP_LATENCY_BY_CODE,
     OP_QUEUE_BY_CODE,
     OpClass,
@@ -32,8 +34,8 @@ from ..mem import MemoryHierarchy
 from ..trace.trace import Trace
 from .dyninst import DynInst, InstState
 from .fu import FUPool
-from .issue_queue import IssueQueue
-from .regfile import PhysRegFile
+from .issue_queue import IssueQueue, MEMORY_WAIT
+from .regfile import NEVER as _NEVER, PhysRegFile
 from .rename import RenameState
 from .rob import SharedROB
 from .runahead import RunaheadController
@@ -51,6 +53,12 @@ _SYNC_CODE = int(OpClass.SYNC)
 #: (module-level loads are one LOAD_GLOBAL; enum attribute chains are not).
 _RUNAHEAD = ThreadMode.RUNAHEAD
 _NORMAL = ThreadMode.NORMAL
+_DISPATCHED = InstState.DISPATCHED
+_READY = InstState.READY
+_ISSUED = InstState.ISSUED
+_COMPLETED = InstState.COMPLETED
+_RETIRED = InstState.RETIRED
+_SQUASHED = InstState.SQUASHED
 #: Arch registers below this are INT (klass 0), at/above it FP (klass 1);
 #: equivalent to reg_class() without the enum construction.
 _NINT = NUM_INT_ARCH_REGS
@@ -113,6 +121,15 @@ class SMTPipeline:
         iline = config.icache.line_bytes
         self._iline_shift = (iline.bit_length() - 1
                              if iline & (iline - 1) == 0 else -1)
+        #: Hot config scalars, hoisted once (SMTConfig is treated as
+        #: immutable after construction): these are read per cycle or per
+        #: instruction in the stage loops.
+        self._width = config.width
+        self._fetch_threads = config.fetch_threads
+        self._fetch_buffer_size = config.fetch_buffer_size
+        self._iline_bytes = iline
+        self._icache_latency = config.icache.latency
+        self._l2_detect_latency = config.dcache.latency + config.l2.latency
         self.predictor = PerceptronPredictor(
             config.predictor_entries, config.predictor_history,
             self.num_threads)
@@ -127,12 +144,28 @@ class SMTPipeline:
                                               pass_shift=shift))
             # Architectural state occupies registers from cycle 0.
             self.threads[tid].regs_held = [32, 32]
+        #: Precomputed commit/dispatch round-robin orders: rotation r is
+        #: the thread list starting at thread r.  Replaces two modulo
+        #: operations and a range allocation per stage per cycle.
+        self._rotations = tuple(
+            tuple(self.threads[(first + offset) % self.num_threads]
+                  for offset in range(self.num_threads))
+            for first in range(self.num_threads))
 
         self.runahead = RunaheadController(self)
         self.policy = policy
+        #: Hoisted for the commit/dispatch/skip hot paths (both are
+        #: fixed at construction, never mutated at run time).
+        self._uses_runahead = policy.uses_runahead
+        self._ra_fp_inval = self.runahead.fp_invalidation
         policy.attach(self)
 
         self._events: Dict[int, List[Tuple[int, DynInst]]] = {}
+        #: Min-heap of the event table's cycle keys (one push per bucket
+        #: creation; stale keys are lazily popped).  Keeps the next-event
+        #: query O(log n) instead of a full dict scan per quiescence
+        #: check.
+        self._event_heap: List[int] = []
         self._gseq = 0
         self._last_commit_cycle = 0
         self._fold_worklist: List[DynInst] = []
@@ -164,7 +197,12 @@ class SMTPipeline:
     def step(self) -> None:
         """Advance the machine by one cycle."""
         now = self.cycle
-        self.fus.new_cycle()
+        fus = self.fus                      # inlined new_cycle
+        available = fus._available
+        capacity = fus._capacity
+        available[0] = capacity[0]
+        available[1] = capacity[1]
+        available[2] = capacity[2]
         self._process_events(now)
         if self._policy_on_cycle is not None:
             self._policy_on_cycle(now)
@@ -183,16 +221,22 @@ class SMTPipeline:
         """One :meth:`step`, then jump over provably idle cycles.
 
         After the stepped cycle, if the machine is *quiescent* — no
-        issue-queue entry is ready, no ROB head is completed, no thread
+        issue-queue entry can issue, no ROB head is completed, no thread
         can fetch or dispatch, and the policy declares no wakeup — then
-        nothing can happen until the next entry in the cycle-indexed
-        event table (or a fetch gate expiring, a runahead exit falling
-        due, or the policy's :meth:`~repro.policies.base.FetchPolicy.
-        skip_horizon`).  ``self.cycle`` jumps straight there, with the
-        per-cycle statistics (register-occupancy samples, runahead
-        cycles, stall/conflict counters) bulk-accounted so results are
+        nothing can happen until the earliest of the per-structure
+        wakeup horizons :meth:`_skip_target` folds together: the next
+        entry in the cycle-indexed event table, a fetch gate expiring, a
+        runahead exit falling due, the MSHR file's next fill (ready
+        loads replaying against a full file), or the policy's
+        :meth:`~repro.policies.base.FetchPolicy.skip_horizon`.
+        ``self.cycle`` jumps straight there, with the per-cycle
+        statistics (register-occupancy samples, runahead cycles,
+        stall/conflict counters) bulk-accounted so results are
         bit-identical to stepping every cycle (see
-        ``tests/test_golden_digest.py``).
+        ``tests/test_golden_digest.py``).  Windows *inside* a busy
+        thread are skippable too: a thread spinning on a rejected load
+        or waiting out its runahead trigger contributes a wakeup cycle
+        instead of pinning the machine to per-cycle stepping.
 
         ``limit`` clamps the jump target (the FAME runner passes its
         ``max_cycles`` cap so truncated runs report the same cycle
@@ -228,19 +272,52 @@ class SMTPipeline:
 
         Returns ``start`` when any structure could act next cycle (the
         machine is not quiescent).
+
+        Quiescence is decided structure by structure, and every structure
+        that can wake the machine *clamps* the jump target with its own
+        horizon rather than vetoing the skip outright:
+
+        * the issue queues (:meth:`IssueQueue.next_ready_cycle
+          <repro.core.issue_queue.IssueQueue.next_ready_cycle>`) — a
+          live ready entry pins ``start``, unless every ready entry is a
+          demand load replaying against a full MSHR file, in which case
+          the wakeup belongs to the memory system
+          (:meth:`~repro.mem.hierarchy.MemoryHierarchy.next_fill_cycle`);
+        * per-thread fetch gates, runahead exits and runahead-entry
+          eligibility at the window heads;
+        * the cycle-indexed event table (completions / L2 detections),
+          via a lazily-pruned min-heap of its keys;
+        * the policy's :meth:`~repro.policies.base.FetchPolicy.
+          skip_horizon`.
+
+        The FU pools need no clamp term here: they are fully pipelined
+        (budgets refresh next cycle, :meth:`FUPool.next_release_cycle
+        <repro.core.fu.FUPool.next_release_cycle>`), and a pool can only
+        be exhausted on a cycle that issued instructions — which the
+        activity precheck in :meth:`advance` already refuses to skip.
         """
         if self._fold_worklist:
             return start
+        memory_wait = False
         for queue in self.queues:
-            if queue.has_ready():
-                return start
+            wake = queue.next_ready_cycle(start)
+            if wake is not None:
+                if wake != MEMORY_WAIT:
+                    return start        # issueable entry next cycle
+                memory_wait = True      # replaying loads; MSHRs own the wake
 
         bound = self._last_commit_cycle + _DEADLOCK_WINDOW + 1
         if limit is not None and limit < bound:
             bound = limit
-        uses_runahead = self.policy.uses_runahead
+        if memory_wait:
+            fill = self.mem.next_fill_cycle(start)
+            if fill is None or fill <= start:
+                return start            # defensive: unknown horizon
+            if fill < bound:
+                bound = fill
+        uses_runahead = self._uses_runahead
         rob_windows = self.rob._queues   # read-only peek at the heads
-        buffer_size = self.config.fetch_buffer_size
+        buffer_size = self._fetch_buffer_size
         for thread in self.threads:
             # Ordered by how often a busy machine bails on each test.
             if len(thread.fetch_queue) < buffer_size:
@@ -254,9 +331,10 @@ class SMTPipeline:
             window = rob_windows[thread.tid]
             if window:
                 head = window[0]
-                if head.state == InstState.COMPLETED:
+                if head.state == _COMPLETED:
                     return start            # commit / pseudo-retire due
-                if (uses_runahead and thread.mode is _NORMAL
+                if (head.l2_miss and uses_runahead   # cheap prefilter
+                        and thread.mode is _NORMAL
                         and self.runahead.should_enter(thread, head, start)):
                     return start            # runahead entry due
             if thread.mode is _RUNAHEAD:
@@ -267,8 +345,8 @@ class SMTPipeline:
                     bound = ready
             if thread.fetch_queue and not self._dispatch_blocked(thread):
                 return start                # dispatch possible this cycle
-        if self._events:
-            next_event = min(self._events)
+        next_event = self._next_event_cycle()
+        if next_event is not None:
             if next_event <= start:
                 return start                # defensive; events are future
             if next_event < bound:
@@ -350,37 +428,73 @@ class SMTPipeline:
         bucket = self._events.get(cycle)
         if bucket is None:
             self._events[cycle] = [(kind, inst)]
+            # One heap push per *bucket*, not per event: the dict key is
+            # the dedup, so the heap stays no larger than the live (plus
+            # recently-drained) cycle set.
+            heappush(self._event_heap, cycle)
         else:
             bucket.append((kind, inst))
 
+    def _next_event_cycle(self) -> Optional[int]:
+        """Earliest cycle with a pending event bucket, or None.
+
+        Keys whose bucket has already been drained are popped lazily
+        here, so the query costs O(log n) amortized instead of the
+        ``min(dict)`` scan it replaces.
+        """
+        heap = self._event_heap
+        events = self._events
+        while heap:
+            cycle = heap[0]
+            if cycle in events:
+                return cycle
+            heappop(heap)
+        return None
+
     def _process_events(self, now: int) -> None:
-        bucket = self._events.pop(now, None)
+        events = self._events
+        bucket = events.pop(now, None)
+        # Prune heap keys for already-drained buckets as the cycle
+        # counter passes them (amortized O(1) per cycle).  Without this,
+        # busy runs — which never reach the quiescence-path pruning in
+        # _next_event_cycle — would retain one stale key per event cycle
+        # for the whole run.
+        heap = self._event_heap
+        while heap and heap[0] <= now and heap[0] not in events:
+            heappop(heap)
         if not bucket:
             return
         for kind, inst in bucket:
             state = inst.state
-            if state == InstState.SQUASHED or state == InstState.RETIRED:
+            if state == _SQUASHED or state == _RETIRED:
                 continue
             if kind == _EV_COMPLETE:
-                if state == InstState.ISSUED:
+                if state == _ISSUED:
                     self._complete(inst, now)
             elif kind == _EV_L2_DETECT:
-                if state < InstState.RETIRED:
+                if state < _RETIRED:
                     self._on_l2_detected(inst, now)
-        self._drain_folds(now)
+        if self._fold_worklist:
+            self._drain_folds(now)
 
     def _complete(self, inst: DynInst, now: int) -> None:
-        inst.state = InstState.COMPLETED
+        inst.state = _COMPLETED
         thread = self.threads[inst.tid]
         if inst.l2_counted:
             inst.l2_counted = False
             thread.pending_l2_misses -= 1
-        if inst.pdest != NO_REG:
+        preg = inst.pdest
+        if preg != NO_REG:
+            invalid = inst.invalid
             file = self.int_file if inst.dest_arch < _NINT else self.fp_file
-            woken = file.set_ready(inst.pdest, now, invalid=inst.invalid)
-            for waiter in woken:
-                self._src_ready(waiter, now, inst.pdest, inst.invalid)
-            if inst.invalid and thread.mode is _RUNAHEAD:
+            file.ready[preg] = now               # inlined set_ready
+            file.inv[preg] = invalid
+            woken = file.waiters[preg]
+            if woken:
+                file.waiters[preg] = []
+                for waiter in woken:
+                    self._src_ready(waiter, now, preg, invalid)
+            if invalid and thread.mode is _RUNAHEAD:
                 self._recycle_runahead_dest(thread, inst)
         if inst.is_branch and not inst.invalid and inst.mispredicted:
             self._resolve_misprediction(inst, now)
@@ -397,7 +511,7 @@ class SMTPipeline:
 
     def _src_ready(self, inst: DynInst, now: int, preg: int,
                    invalid: bool) -> None:
-        if inst.state != InstState.DISPATCHED:
+        if inst.state != _DISPATCHED:
             return
         if invalid:
             # Record validity *now*: the producing register may be
@@ -413,8 +527,8 @@ class SMTPipeline:
         if self._operands_invalid(inst):
             self._fold_worklist.append(inst)
         else:
-            inst.state = InstState.READY
-            self.queues[OP_QUEUE_BY_CODE[inst.op]].mark_ready(inst)
+            inst.state = _READY
+            self.queues[OP_QUEUE_BY_CODE[inst.op]]._ready.append(inst)
 
     def _operands_invalid(self, inst: DynInst) -> bool:
         """Fold test: does any operand needed for execution carry INV?
@@ -433,7 +547,7 @@ class SMTPipeline:
     def _fold(self, inst: DynInst, now: int) -> None:
         """Squash-free cancellation: complete instantly with an INV result."""
         inst.invalid = True
-        inst.state = InstState.COMPLETED
+        inst.state = _COMPLETED
         inst.complete_cycle = now
         if inst.in_iq:
             self.queues[OP_QUEUE_BY_CODE[inst.op]].remove(inst)
@@ -453,7 +567,7 @@ class SMTPipeline:
     def _drain_folds(self, now: int) -> None:
         while self._fold_worklist:
             inst = self._fold_worklist.pop()
-            if inst.state == InstState.DISPATCHED:
+            if inst.state == _DISPATCHED:
                 self._fold(inst, now)
 
     def _uncount(self, inst: DynInst) -> None:
@@ -464,10 +578,8 @@ class SMTPipeline:
     # --------------------------------------------------------------- commit
 
     def _commit_stage(self, now: int) -> None:
-        budget = self.config.width
-        start = now % self.num_threads
-        for offset in range(self.num_threads):
-            thread = self.threads[(start + offset) % self.num_threads]
+        budget = self._width
+        for thread in self._rotations[now % self.num_threads]:
             if (thread.mode is _RUNAHEAD            # inlined should_exit
                     and now >= thread.runahead_trigger_ready):
                 self.runahead.exit(thread, now)
@@ -482,10 +594,10 @@ class SMTPipeline:
         while budget > 0 and window:
             head = window[0]
             if thread.mode is _NORMAL:
-                if head.state == InstState.COMPLETED:
+                if head.state == _COMPLETED:
                     self._commit(thread, head, now)
                     budget -= 1
-                elif (self.policy.uses_runahead
+                elif (head.l2_miss and self._uses_runahead
                       and self.runahead.should_enter(thread, head, now)):
                     self._enter_runahead(thread, head, now)
                     budget -= 1
@@ -493,7 +605,7 @@ class SMTPipeline:
                 else:
                     break
             else:
-                if head.state == InstState.COMPLETED:
+                if head.state == _COMPLETED:
                     self._pseudo_retire(thread, head, now)
                     budget -= 1
                 else:
@@ -502,8 +614,11 @@ class SMTPipeline:
 
     def _commit(self, thread: ThreadContext, inst: DynInst,
                 now: int) -> None:
-        self.rob.pop_head(thread.tid)
-        inst.state = InstState.RETIRED
+        rob = self.rob          # inlined pop_head (head already in hand)
+        rob._queues[thread.tid].popleft()
+        rob._occupancy -= 1
+        rob.per_thread[thread.tid] -= 1
+        inst.state = _RETIRED
         thread.rob_held -= 1
         thread.stats.committed += 1
         self.gstats.committed += 1
@@ -527,8 +642,11 @@ class SMTPipeline:
 
     def _pseudo_retire(self, thread: ThreadContext, inst: DynInst,
                        now: int) -> None:
-        self.rob.pop_head(thread.tid)
-        inst.state = InstState.RETIRED
+        rob = self.rob          # inlined pop_head (head already in hand)
+        rob._queues[thread.tid].popleft()
+        rob._occupancy -= 1
+        rob.per_thread[thread.tid] -= 1
+        inst.state = _RETIRED
         thread.rob_held -= 1
         thread.stats.pseudo_retired += 1
         self._last_commit_cycle = now  # forward progress, albeit speculative
@@ -540,14 +658,15 @@ class SMTPipeline:
             klass, file = 1, self.fp_file
         if inst.old_pdest != NO_REG and not file.pinned[inst.old_pdest]:
             self._release_preg(thread, klass, inst.old_pdest)
-        self._recycle_runahead_dest(thread, inst)
+        if inst.pdest != NO_REG:   # prefilter: recycle's common early-out
+            self._recycle_runahead_dest(thread, inst)
 
     def _enter_runahead(self, thread: ThreadContext, trigger: DynInst,
                         now: int) -> None:
         """Checkpoint and pseudo-retire the triggering L2-miss load (§3.1)."""
         self.runahead.enter(thread, trigger, now)
         self.rob.pop_head(thread.tid)
-        trigger.state = InstState.RETIRED
+        trigger.state = _RETIRED
         thread.rob_held -= 1
         thread.stats.pseudo_retired += 1
         if trigger.l2_counted:
@@ -571,7 +690,7 @@ class SMTPipeline:
         # the whole episode.
         horizon = now + self.config.dcache.latency + self.config.l2.latency
         for inflight in self.rob.thread_window(thread.tid):
-            if (inflight.is_load and inflight.state == InstState.ISSUED
+            if (inflight.is_load and inflight.state == _ISSUED
                     and (inflight.l2_miss or inflight.complete_cycle > horizon)):
                 inflight.invalid = True
                 self._complete(inflight, now)
@@ -580,7 +699,18 @@ class SMTPipeline:
     def _release_preg(self, thread: ThreadContext, klass: int,
                       preg: int) -> None:
         file = self.int_file if klass == 0 else self.fp_file
-        file.release(preg)
+        # Inlined PhysRegFile.release (one call per retired destination);
+        # the conservation checks are kept — they are what the heavy
+        # invariant tests lean on.
+        if not file._allocated[preg]:
+            raise SimulationError(
+                f"{file.name}: double release of p{preg}")
+        if file.pinned[preg]:
+            raise SimulationError(
+                f"{file.name}: releasing pinned register p{preg}")
+        file._allocated[preg] = False
+        file.waiters[preg].clear()
+        file._free.append(preg)
         thread.regs_held[klass] -= 1
 
     def _recycle_runahead_dest(self, thread: ThreadContext,
@@ -609,7 +739,7 @@ class SMTPipeline:
             return
         front[arch_index] = thread.rename.arch[klass][arch_index]
         self._release_preg(thread, klass, inst.pdest)
-        thread.note_arch_invalid(inst.dest_arch, inst.invalid)
+        thread.arch_inv[inst.dest_arch] = inst.invalid   # note_arch_invalid
         inst.pdest = NO_REG
 
     # --------------------------------------------------------------- issue
@@ -618,6 +748,7 @@ class SMTPipeline:
         # IssueQueueKind and FUKind coincide numerically (INT/FP + LS/LDST),
         # so the queue index doubles as the FU pool index.
         available = self.fus._available
+        issue = self._issue
         for queue_kind in (2, 0, 1):     # LS first, then INT, FP
             queue = self.queues[queue_kind]
             if not queue._ready:
@@ -626,8 +757,9 @@ class SMTPipeline:
             if budget <= 0:
                 continue
             for inst in queue.take_ready(budget):
-                self._issue(inst, queue, now)
-        self._drain_folds(now)
+                issue(inst, queue, now)
+        if self._fold_worklist:
+            self._drain_folds(now)
 
     def _issue(self, inst: DynInst, queue: IssueQueue, now: int) -> None:
         thread = self.threads[inst.tid]
@@ -638,12 +770,27 @@ class SMTPipeline:
         elif inst.is_store:
             self._issue_store(thread, inst, now)
         else:
-            latency = OP_LATENCY_BY_CODE[inst.op]
-            inst.complete_cycle = now + latency
-            self.schedule(inst.complete_cycle, _EV_COMPLETE, inst)
-        self.fus.acquire(inst.op)
-        inst.state = InstState.ISSUED
-        queue.remove(inst)
+            cycle = now + OP_LATENCY_BY_CODE[inst.op]
+            inst.complete_cycle = cycle
+            events = self._events            # inlined schedule()
+            bucket = events.get(cycle)
+            if bucket is None:
+                events[cycle] = [(_EV_COMPLETE, inst)]
+                heappush(self._event_heap, cycle)
+            else:
+                bucket.append((_EV_COMPLETE, inst))
+        # Inlined FUPool.acquire: the take_ready budget is the available
+        # unit count, so the pool can never be exhausted here.
+        fus = self.fus
+        kind = OP_FU_BY_CODE[inst.op]
+        fus._available[kind] -= 1
+        fus.issued[kind] += 1
+        inst.state = _ISSUED
+        # Inlined queue.remove: a selected entry is always in its queue,
+        # and take_ready already stripped any replay deferral.
+        inst.in_iq = False
+        queue.size -= 1
+        queue.per_thread[inst.tid] -= 1
         if inst.counted:   # inlined _uncount
             inst.counted = False
             thread.icount -= 1
@@ -675,14 +822,22 @@ class SMTPipeline:
         result = self.mem.data_access(inst.addr, False, now, thread.tid)
         if result is None:
             # Demand miss rejected by a full MSHR file: replay next cycle.
-            queue.requeue(inst)
+            # The replay flag tells the fast path this entry cannot issue
+            # before the MSHRs release an entry (mem.next_fill_cycle), so
+            # the retry window is skippable instead of stepped.
+            queue.requeue(inst, replay=True)
             return False
-        inst.complete_cycle = result.complete_cycle
-        self.schedule(result.complete_cycle, _EV_COMPLETE, inst)
+        cycle = result.complete_cycle
+        inst.complete_cycle = cycle
+        events = self._events                # inlined schedule()
+        bucket = events.get(cycle)
+        if bucket is None:
+            events[cycle] = [(_EV_COMPLETE, inst)]
+            heappush(self._event_heap, cycle)
+        else:
+            bucket.append((_EV_COMPLETE, inst))
         if result.l2_miss:
-            detect = min(result.complete_cycle,
-                         now + self.config.dcache.latency
-                         + self.config.l2.latency)
+            detect = min(cycle, now + self._l2_detect_latency)
             self.schedule(detect, _EV_L2_DETECT, inst)
         return True
 
@@ -691,7 +846,7 @@ class SMTPipeline:
         """Runahead loads: cache hits complete normally; L2 misses become
         prefetches and produce INV at L2-lookup time (§3.2)."""
         l1_latency = self.config.dcache.latency
-        detect_latency = l1_latency + self.config.l2.latency
+        detect_latency = self._l2_detect_latency
         forwarded = self.runahead.load_forward_validity(thread, inst)
         if forwarded is not None:
             inst.invalid = not forwarded
@@ -708,7 +863,9 @@ class SMTPipeline:
             else:
                 inst.invalid = True
                 inst.complete_cycle = now + detect_latency
-                thread.no_retrigger.add((inst.pass_no, inst.trace_index))
+                thread.no_retrigger.add(
+                    inst.pass_no * thread.retrigger_stride
+                    + inst.trace_index)
             self.schedule(inst.complete_cycle, _EV_COMPLETE, inst)
             return
         result = self.mem.data_access(inst.addr, False, now, thread.tid,
@@ -726,7 +883,14 @@ class SMTPipeline:
                 thread.gate_fetch_until(thread.runahead_trigger_ready)
         else:
             inst.complete_cycle = result.complete_cycle
-        self.schedule(inst.complete_cycle, _EV_COMPLETE, inst)
+        cycle = inst.complete_cycle
+        events = self._events                # inlined schedule()
+        bucket = events.get(cycle)
+        if bucket is None:
+            events[cycle] = [(_EV_COMPLETE, inst)]
+            heappush(self._event_heap, cycle)
+        else:
+            bucket.append((_EV_COMPLETE, inst))
 
     # --------------------------------------------------------------- branch resolution
 
@@ -754,7 +918,7 @@ class SMTPipeline:
         count = 0
         for inst in thread.fetch_queue:
             self._uncount(inst)
-            inst.state = InstState.SQUASHED
+            inst.state = _SQUASHED
             thread.stats.squashed += 1
             count += 1
         thread.fetch_queue.clear()
@@ -786,26 +950,26 @@ class SMTPipeline:
                 arch_index = inst.dest_arch - _NINT
             thread.rename.undo_rename(klass, arch_index, inst.old_pdest)
             self._release_preg(thread, klass, inst.pdest)
-        inst.state = InstState.SQUASHED
+        inst.state = _SQUASHED
         thread.stats.squashed += 1
 
     # --------------------------------------------------------------- dispatch
 
     def _dispatch_stage(self, now: int) -> None:
-        budget = self.config.width
-        start = now % self.num_threads
-        for offset in range(self.num_threads):
-            thread = self.threads[(start + offset) % self.num_threads]
-            while budget > 0 and thread.fetch_queue:
-                inst = thread.fetch_queue[0]
-                if not self._dispatch(thread, inst, now):
+        budget = self._width
+        dispatch = self._dispatch
+        for thread in self._rotations[now % self.num_threads]:
+            fetch_queue = thread.fetch_queue
+            while budget > 0 and fetch_queue:
+                if not dispatch(thread, fetch_queue[0], now):
                     self.gstats.dispatch_stalls += 1
                     break
-                thread.fetch_queue.popleft()
+                fetch_queue.popleft()
                 budget -= 1
             if budget <= 0:
                 break
-        self._drain_folds(now)
+        if self._fold_worklist:
+            self._drain_folds(now)
 
     def _dispatch(self, thread: ThreadContext, inst: DynInst,
                   now: int) -> bool:
@@ -816,14 +980,16 @@ class SMTPipeline:
         op = inst.op
 
         drop_at_decode = thread.mode is _RUNAHEAD and (
-            (self.runahead.fp_invalidation and IS_FP_BY_CODE[op])
+            (self._ra_fp_inval and IS_FP_BY_CODE[op])
             or op == _SYNC_CODE)
         if drop_at_decode:
             # §3.3: FP compute and synchronization ops in runahead use no
             # resources past decode — straight to pseudo-commit, INV.
-            self._rob_append(rob, inst)
+            rob._queues[inst.tid].append(inst)   # inlined append
+            rob._occupancy += 1
+            rob.per_thread[inst.tid] += 1
             thread.rob_held += 1
-            inst.state = InstState.COMPLETED
+            inst.state = _COMPLETED
             inst.invalid = True
             inst.complete_cycle = now
             self._uncount(inst)
@@ -834,7 +1000,7 @@ class SMTPipeline:
             return True
 
         queue = self.queues[OP_QUEUE_BY_CODE[op]]
-        if queue.is_full():
+        if queue.size >= queue.capacity:   # inlined is_full
             return False
         dest_arch = inst.dest_arch
         dest_file: Optional[PhysRegFile] = None
@@ -843,18 +1009,67 @@ class SMTPipeline:
             if not dest_file._free:   # free_count == 0, sans property call
                 return False
 
-        self._rob_append(rob, inst)
+        rob._queues[inst.tid].append(inst)   # inlined append, checked above
+        rob._occupancy += 1
+        rob.per_thread[inst.tid] += 1
         thread.rob_held += 1
-        inst.state = InstState.DISPATCHED
+        inst.state = _DISPATCHED
         thread.stats.dispatched += 1
 
+        # Source renaming, inlined twice (this is the per-instruction
+        # dispatch hot path; see _rename_source for the readable form).
         pending = 0
-        pending += self._rename_source(thread, inst, 1, now)
-        pending += self._rename_source(thread, inst, 2, now)
+        arch_inv = thread.arch_inv
+        front = thread.rename.front
+        arch = inst.src1_arch
+        if arch != NO_REG:
+            if arch_inv[arch]:
+                inst.src_inv_mask |= 1
+            else:
+                if arch < _NINT:
+                    file = self.int_file
+                    preg = front[0][arch]
+                else:
+                    file = self.fp_file
+                    preg = front[1][arch - _NINT]
+                inst.psrc1 = preg
+                if file.ready[preg] <= now:
+                    if file.inv[preg]:
+                        inst.src_inv_mask |= 1
+                else:
+                    file.waiters[preg].append(inst)
+                    pending += 1
+        arch = inst.src2_arch
+        if arch != NO_REG:
+            if arch_inv[arch]:
+                inst.src_inv_mask |= 2
+            else:
+                if arch < _NINT:
+                    file = self.int_file
+                    preg = front[0][arch]
+                else:
+                    file = self.fp_file
+                    preg = front[1][arch - _NINT]
+                inst.psrc2 = preg
+                if file.ready[preg] <= now:
+                    if file.inv[preg]:
+                        inst.src_inv_mask |= 2
+                else:
+                    file.waiters[preg].append(inst)
+                    pending += 1
         inst.pending_srcs = pending
 
         if dest_file is not None:
-            preg = dest_file.alloc()
+            # Inlined PhysRegFile.alloc (the free list was checked above).
+            free = dest_file._free
+            preg = free.pop()
+            dest_file._allocated[preg] = True
+            dest_file.ready[preg] = _NEVER
+            dest_file.inv[preg] = False
+            dest_file.pinned[preg] = False
+            used = dest_file.size - len(free)
+            if used > dest_file.high_water:
+                dest_file.high_water = used
             if dest_arch < _NINT:
                 klass = 0
                 arch_index = dest_arch
@@ -862,27 +1077,24 @@ class SMTPipeline:
                 klass = 1
                 arch_index = dest_arch - _NINT
             inst.pdest = preg
-            inst.old_pdest = thread.rename.rename_dest(klass, arch_index,
-                                                       preg)
+            fmap = front[klass]                  # inlined rename_dest
+            inst.old_pdest = fmap[arch_index]
+            fmap[arch_index] = preg
             thread.regs_held[klass] += 1
             # A renamed write supersedes any early-reclaimed INV producer.
-            thread.arch_inv[dest_arch] = False
+            arch_inv[dest_arch] = False
 
-        queue.insert(inst)
+        queue.size += 1                      # inlined insert, checked above
+        queue.per_thread[inst.tid] += 1
+        inst.in_iq = True
         if pending == 0:
-            if self._operands_invalid(inst):
+            mask = inst.src_inv_mask         # inlined _operands_invalid
+            if (mask & 1) if inst.is_store else mask:
                 self._fold(inst, now)
             else:
-                inst.state = InstState.READY
-                queue.mark_ready(inst)
+                inst.state = _READY
+                queue._ready.append(inst)    # inlined mark_ready
         return True
-
-    @staticmethod
-    def _rob_append(rob: SharedROB, inst: DynInst) -> None:
-        """ROB insert with the capacity check already done by the caller."""
-        rob._queues[inst.tid].append(inst)
-        rob._occupancy += 1
-        rob.per_thread[inst.tid] += 1
 
     def _rename_source(self, thread: ThreadContext, inst: DynInst,
                        which: int, now: int) -> int:
@@ -919,8 +1131,8 @@ class SMTPipeline:
         order = self.policy.fetch_order(now)
         fetched_total = 0
         threads_used = 0
-        width = self.config.width
-        fetch_threads = self.config.fetch_threads
+        width = self._width
+        fetch_threads = self._fetch_threads
         threads = self.threads
         for tid in order:
             if threads_used >= fetch_threads:
@@ -940,43 +1152,82 @@ class SMTPipeline:
     def _fetch_thread(self, thread: ThreadContext, now: int,
                       limit: int) -> int:
         count = 0
-        buffer_room = self.config.fetch_buffer_size - len(thread.fetch_queue)
+        buffer_room = self._fetch_buffer_size - len(thread.fetch_queue)
         limit = min(limit, buffer_room)
         pcs = thread.pcs
         code_offset = thread.code_offset
         iline_shift = self._iline_shift
-        icache_done = now + self.config.icache.latency
+        icache_done = now + self._icache_latency
         stats = thread.stats
         fetch_queue = thread.fetch_queue
+        gseq = self._gseq
+        # Trace columns and address math, hoisted for the inlined
+        # ThreadContext.next_inst below (this loop materializes every
+        # dynamic instruction in the simulation).  The mode is stable
+        # within a fetch block: runahead entry/exit happen at commit.
+        ops = thread.ops
+        dests = thread.dests
+        src1s = thread.src1s
+        src2s = thread.src2s
+        addrs = thread.addrs
+        takens = thread.takens
+        tid = thread.tid
+        data_base = thread.data_base
+        pass_stride = thread._pass_stride
+        data_region = thread.data_region
+        trace_len = len(ops)
+        in_runahead = thread.mode is _RUNAHEAD
         while count < limit:
-            pc = pcs[thread.cursor] + code_offset
+            cursor = thread.cursor
+            pc = pcs[cursor] + code_offset
             line = (pc >> iline_shift if iline_shift >= 0
-                    else pc // self.config.icache.line_bytes)
+                    else pc // self._iline_bytes)
             if line != thread.fetch_line:
-                result = self.mem.ifetch(pc, now, thread.tid,
-                                         speculative=thread.mode is _RUNAHEAD)
+                result = self.mem.ifetch(pc, now, tid,
+                                         speculative=in_runahead)
                 thread.fetch_line = line
                 if result.complete_cycle > icache_done:
                     thread.block_fetch_until(result.complete_cycle)
                     break
-            inst = thread.next_inst(self._gseq)
-            self._gseq += 1
+            # Inlined thread.next_inst (the pc above is reused instead of
+            # being recomputed per instruction).
+            pass_no = thread.pass_no
+            inst = DynInst(
+                tid, thread.seq, cursor, pass_no,
+                ops[cursor], pc, 0,
+                dests[cursor], src1s[cursor], src2s[cursor],
+                takens[cursor],
+            )
+            inst.gseq = gseq
+            gseq += 1
+            if inst.is_mem:
+                inst.addr = data_base + (
+                    (addrs[cursor] + pass_no * pass_stride) % data_region)
+            inst.runahead = in_runahead
+            thread.seq += 1
+            cursor += 1
+            if cursor >= trace_len:
+                cursor = 0
+                thread.pass_no = pass_no + 1
+            thread.cursor = cursor
             inst.counted = True
-            thread.icount += 1
-            stats.fetched += 1
             fetch_queue.append(inst)
             count += 1
             if inst.is_branch:
                 stats.branches += 1
-                correct = self.predictor.predict(thread.tid, inst.pc,
-                                                 inst.taken)
+                correct = self.predictor.predict(tid, pc, inst.taken)
                 inst.mispredicted = not correct
                 if inst.taken:
                     # Taken branch ends this thread's fetch block; a BTB
                     # miss costs one redirect bubble.
-                    if not self.btb.lookup_and_insert(inst.pc):
+                    if not self.btb.lookup_and_insert(pc):
                         thread.block_fetch_until(now + 2)
                     break
+        if count:
+            # Per-instruction counters, applied once per fetch block.
+            self._gseq = gseq
+            thread.icount += count
+            stats.fetched += count
         return count
 
     # --------------------------------------------------------------- sampling

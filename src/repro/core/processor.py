@@ -238,12 +238,20 @@ class SMTProcessor:
         cap = max_cycles if max_cycles is not None else self.config.max_cycles
         pipeline = self.pipeline
         threads = pipeline.threads
+        advance = pipeline.advance
         truncated = False
-        while any(t.finished_passes < min_passes for t in threads):
+        # Plain loop rather than any(genexpr): this termination test runs
+        # once per simulated cycle.
+        while True:
+            for thread in threads:
+                if thread.finished_passes < min_passes:
+                    break
+            else:
+                break
             if pipeline.cycle >= cap:
                 truncated = True
                 break
-            pipeline.advance(cap)
+            advance(cap)
         return self._result(truncated)
 
     def _result(self, truncated: bool) -> SimResult:

@@ -57,14 +57,15 @@ class PhysRegFile:
 
     def alloc(self) -> int:
         """Allocate a register; -1 if none are free."""
-        if not self._free:
+        free = self._free
+        if not free:
             return -1
-        preg = self._free.pop()
+        preg = free.pop()
         self._allocated[preg] = True
         self.ready[preg] = NEVER
         self.inv[preg] = False
         self.pinned[preg] = False
-        used = self.allocated_count
+        used = self.size - len(free)   # allocated_count sans property call
         if used > self.high_water:
             self.high_water = used
         return preg

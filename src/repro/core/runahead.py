@@ -96,9 +96,11 @@ class RunaheadController:
             return False
         if head.complete_cycle >= 0 and head.complete_cycle <= now:
             return False  # data already arrived; commit normally
-        if (head.pass_no, head.trace_index) in thread.no_retrigger:
-            # Figure 4 prefetch ablation: a load whose prefetch was
-            # suppressed must not re-trigger runahead after recovery.
+        if (head.pass_no * thread.retrigger_stride + head.trace_index
+                in thread.no_retrigger):
+            # One episode per dynamic load (forward-progress guarantee),
+            # and the Figure 4 prefetch ablation: a load whose prefetch
+            # was suppressed must not re-trigger runahead after recovery.
             return False
         return True
 
@@ -109,7 +111,8 @@ class RunaheadController:
         # recovery (e.g. its line was evicted by the episode's own
         # prefetches), the thread waits for it like a normal miss instead
         # of re-entering — guaranteeing forward progress (no livelock).
-        thread.no_retrigger.add((trigger.pass_no, trigger.trace_index))
+        thread.no_retrigger.add(
+            trigger.pass_no * thread.retrigger_stride + trigger.trace_index)
         thread.rename.pin_architectural()
         thread.mode = ThreadMode.RUNAHEAD
         thread.runahead_trigger_ready = trigger.complete_cycle

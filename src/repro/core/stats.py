@@ -12,9 +12,10 @@ import dataclasses
 from typing import Dict
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class ThreadStats:
-    """Per-thread counters."""
+    """Per-thread counters (slotted: these fields are incremented on
+    per-instruction hot paths)."""
 
     fetched: int = 0
     dispatched: int = 0
@@ -58,9 +59,9 @@ class ThreadStats:
         return self.runahead_regs_held / self.runahead_reg_samples
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class GlobalStats:
-    """Whole-processor counters."""
+    """Whole-processor counters (slotted, as ThreadStats)."""
 
     cycles: int = 0
     executed: int = 0

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import enum
 from collections import deque
-from typing import Deque, Optional, Set, Tuple
+from typing import Deque, Optional, Set
 
 from ..isa import NUM_ARCH_REGS, NO_REG
 from ..trace.trace import Trace
@@ -43,6 +43,11 @@ class ThreadMode(enum.IntEnum):
     RUNAHEAD = 1
 
 
+#: Hoisted member: ``mode is _RUNAHEAD_MODE`` on the fetch hot path costs
+#: one global load instead of an enum attribute chain.
+_RUNAHEAD_MODE = ThreadMode.RUNAHEAD
+
+
 class ThreadContext:
     """All architectural and microarchitectural state private to a thread."""
 
@@ -54,7 +59,8 @@ class ThreadContext:
         "fetch_line", "fetch_line_ready",
         "icount", "regs_held", "rob_held", "last_index",
         "runahead_trigger_ready", "runahead_trigger_index",
-        "runahead_trigger_pass", "no_retrigger", "arch_inv",
+        "runahead_trigger_pass", "no_retrigger", "retrigger_stride",
+        "arch_inv",
         "pending_l2_misses", "finished_passes",
         "data_base", "code_offset", "data_region",
     )
@@ -89,7 +95,12 @@ class ThreadContext:
         self.runahead_trigger_ready = -1
         self.runahead_trigger_index = -1
         self.runahead_trigger_pass = -1
-        self.no_retrigger: Set[Tuple[int, int]] = set()
+        #: Dynamic loads barred from re-triggering runahead, keyed by
+        #: ``pass_no * retrigger_stride + trace_index`` — a plain int
+        #: instead of a (pass, index) tuple, so the membership test on
+        #: the commit/skip hot paths allocates nothing.
+        self.no_retrigger: Set[int] = set()
+        self.retrigger_stride = len(trace)
         self.arch_inv = [False] * NUM_ARCH_REGS
 
         self.pending_l2_misses = 0
@@ -111,23 +122,27 @@ class ThreadContext:
     def next_inst(self, gseq: int) -> DynInst:
         """Materialize the next trace instruction at the fetch cursor."""
         index = self.cursor
+        pass_no = self.pass_no
         # Positional DynInst construction: this is the hottest allocation
         # in the simulator (one per fetched instruction).
         inst = DynInst(
-            self.tid, self.seq, index, self.pass_no,
+            self.tid, self.seq, index, pass_no,
             self.ops[index], self.pcs[index] + self.code_offset, 0,
             self.dests[index], self.src1s[index], self.src2s[index],
             self.takens[index],
         )
         inst.gseq = gseq
         if inst.is_mem:
-            inst.addr = self.physical_addr(self.addrs[index], self.pass_no)
-        inst.runahead = self.in_runahead
+            # physical_addr(), inlined for the per-instruction hot path.
+            inst.addr = self.data_base + (
+                (self.addrs[index] + pass_no * self._pass_stride)
+                % self.data_region)
+        inst.runahead = self.mode is _RUNAHEAD_MODE
         self.seq += 1
         self.cursor += 1
         if self.cursor >= len(self.ops):
             self.cursor = 0
-            self.pass_no += 1
+            self.pass_no = pass_no + 1
         return inst
 
     def physical_addr(self, trace_addr: int, pass_no: int) -> int:

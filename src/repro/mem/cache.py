@@ -44,16 +44,19 @@ class Cache:
         return byte_addr // self.config.line_bytes
 
     def lookup(self, line_addr: int, update_lru: bool = True) -> bool:
-        """Probe for a line; hit updates recency unless told otherwise."""
+        """Probe for a line; hit updates recency unless told otherwise.
+
+        The membership test runs before ``index`` so the miss path (the
+        common case on the MEM workloads' hot loops) is a single C-level
+        scan instead of a raised-and-caught ValueError.
+        """
         self.accesses += 1
         cache_set = self._sets[line_addr & self._set_mask]
-        try:
-            position = cache_set.index(line_addr)
-        except ValueError:
+        if line_addr not in cache_set:
             self.misses += 1
             return False
-        if update_lru and position != len(cache_set) - 1:
-            del cache_set[position]
+        if update_lru and cache_set[-1] != line_addr:
+            cache_set.remove(line_addr)
             cache_set.append(line_addr)
         return True
 

@@ -23,9 +23,15 @@ from .cache import Cache
 from .mshr import MSHRFile
 
 
-@dataclasses.dataclass(frozen=True, slots=True)
+@dataclasses.dataclass(slots=True)
 class AccessResult:
-    """Outcome of one memory access."""
+    """Outcome of one memory access.
+
+    A plain (non-frozen) dataclass on purpose: the frozen variant routes
+    every field through ``object.__setattr__``, which is measurable at
+    one instance per simulated memory access.  Treat instances as
+    immutable all the same.
+    """
 
     complete_cycle: int   # cycle at which data is available
     l2_miss: bool         # data is being served by main memory
@@ -98,46 +104,61 @@ class MemoryHierarchy:
         else:
             stats.loads += 1
 
-        line = self.dcache.line_of(addr)
-        pending = self.mshr.pending(line, now)
-        if pending is not None:
-            ready, from_memory = pending
-            stats.merges += 1
-            complete = max(ready, now + self.dcache.latency)
-            return AccessResult(complete, from_memory, line, merged=True)
+        dcache = self.dcache
+        mshr = self.mshr
+        line = addr // dcache.config.line_bytes   # inlined line_of
+        # Inlined MSHRFile.pending: the no-entry case is the
+        # overwhelmingly common one on this per-access hot path.
+        entry = mshr._entries.get(line)
+        if entry is not None:
+            ready, from_memory = entry
+            if ready > now:
+                mshr.merges += 1
+                stats.merges += 1
+                l1_done = now + dcache.latency
+                complete = ready if ready > l1_done else l1_done
+                return AccessResult(complete, from_memory, line, merged=True)
+            del mshr._entries[line]
 
-        if self.dcache.lookup(line):
+        if dcache.lookup(line):
             self._credit_prefetch(line, stats, speculative)
-            return AccessResult(now + self.dcache.latency, False, line)
+            return AccessResult(now + dcache.latency, False, line)
 
         stats.l1d_misses += 1
-        probe_done = now + self.dcache.latency
+        probe_done = now + dcache.latency
         if self.l2.lookup(line):
             self._credit_prefetch(line, stats, speculative)
             complete = probe_done + self.l2.latency
-            self.dcache.fill(line)
+            dcache.fill(line)
             # Best-effort MSHR registration for the short L2-hit window.
-            self.mshr.allocate(line, complete, False, now)
+            mshr.allocate(line, complete, False, now)
             return AccessResult(complete, False, line)
 
         # L2 miss: full memory round trip.
         complete = probe_done + self.l2.latency + self.memory_latency
-        if not self.mshr.allocate(line, complete, True, now):
+        if not mshr.allocate(line, complete, True, now):
             if is_store:
                 # Stores drain through a write buffer; never rejected.
-                self._entries_force(line, complete)
+                mshr.force(line, complete)
             else:
                 return None
         stats.l2_misses += 1
         self.l2.fill(line)
-        self.dcache.fill(line)
+        dcache.fill(line)
         if speculative:
             self._prefetched_lines.add(line)
         return AccessResult(complete, True, line)
 
-    def _entries_force(self, line: int, complete: int) -> None:
-        """Register a fill past MSHR capacity (store write-buffer path)."""
-        self.mshr._entries[line] = (complete, True)
+    def next_fill_cycle(self, now: int) -> Optional[int]:
+        """Earliest future cycle at which an outstanding fill completes.
+
+        The cycle-skipping fast path uses this as the wakeup horizon for
+        issue-queue entries replaying against a full MSHR file: nothing
+        can free an entry before the first fill completes, so every cycle
+        strictly before it is provably a failed replay (see
+        :meth:`~repro.mem.mshr.MSHRFile.next_release_cycle`).
+        """
+        return self.mshr.next_release_cycle(now)
 
     def _credit_prefetch(self, line: int, stats: MemStats,
                          speculative: bool) -> None:
@@ -166,15 +187,21 @@ class MemoryHierarchy:
         """Fetch the instruction line containing ``pc``."""
         stats = self.stats[thread_id]
         stats.ifetches += 1
-        line = self.icache.line_of(pc)
-        pending = self.mshr.pending(line, now)
-        if pending is not None:
-            ready, from_memory = pending
-            stats.merges += 1
-            return AccessResult(max(ready, now + self.icache.latency),
-                                from_memory, line, merged=True)
-        if self.icache.lookup(line):
-            return AccessResult(now + self.icache.latency, False, line)
+        icache = self.icache
+        mshr = self.mshr
+        line = pc // icache.config.line_bytes     # inlined line_of
+        entry = mshr._entries.get(line)           # inlined MSHRFile.pending
+        if entry is not None:
+            ready, from_memory = entry
+            if ready > now:
+                mshr.merges += 1
+                stats.merges += 1
+                l1_done = now + icache.latency
+                complete = ready if ready > l1_done else l1_done
+                return AccessResult(complete, from_memory, line, merged=True)
+            del mshr._entries[line]
+        if icache.lookup(line):
+            return AccessResult(now + icache.latency, False, line)
         stats.l1i_misses += 1
         probe_done = now + self.icache.latency
         if self.l2.lookup(line):

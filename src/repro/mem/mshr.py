@@ -1,6 +1,7 @@
 """Miss Status Holding Registers.
 
-MSHRs track in-flight cache fills.  They serve two purposes in this model:
+MSHRs track in-flight cache fills.  They serve three purposes in this
+model:
 
 1. **Timing of pending lines.**  Cache arrays are filled eagerly at miss
    time (a standard trace-simulator simplification), so the MSHR file is
@@ -9,17 +10,25 @@ MSHRs track in-flight cache fills.  They serve two purposes in this model:
 2. **Miss merging (MLP).**  Concurrent misses to one line collapse into a
    single fill — the mechanism by which runahead prefetches overlap many
    memory accesses instead of serializing them.
+3. **A skip horizon.**  A demand load rejected by a full file replays every
+   cycle until a fill completes and frees an entry; the event-driven fast
+   path asks :meth:`next_release_cycle` for that cycle so the whole replay
+   window can be jumped over instead of stepped (see
+   :meth:`SMTPipeline._skip_target
+   <repro.core.pipeline.SMTPipeline._skip_target>`).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+import heapq
+from typing import Dict, List, Optional, Tuple
 
 
 class MSHRFile:
     """Outstanding-fill tracker with bounded capacity."""
 
-    __slots__ = ("capacity", "_entries", "allocations", "merges", "rejects")
+    __slots__ = ("capacity", "_entries", "_release_heap", "allocations",
+                 "merges", "rejects")
 
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
@@ -27,6 +36,10 @@ class MSHRFile:
         self.capacity = capacity
         #: line_addr -> (ready_cycle, fill_is_from_memory)
         self._entries: Dict[int, Tuple[int, bool]] = {}
+        #: Lazily-pruned min-heap of (ready_cycle, line_addr) mirroring
+        #: ``_entries``; stale pairs (entry dropped or re-allocated with a
+        #: different ready cycle) are discarded when the heap top is read.
+        self._release_heap: List[Tuple[int, int]] = []
         self.allocations = 0
         self.merges = 0
         self.rejects = 0
@@ -35,13 +48,27 @@ class MSHRFile:
         return len(self._entries)
 
     def expire(self, now: int) -> None:
-        """Drop entries whose fill has completed."""
-        if not self._entries:
+        """Drop entries whose fill has completed.
+
+        Driven by the release heap: every entry has a heap pair, so
+        walking pairs with ``ready <= now`` visits every expirable entry
+        (plus stale pairs, discarded in passing) — O(expired · log n)
+        amortized instead of a scan of the whole file per call, which
+        matters because ``allocate`` expires on every attempt against a
+        full file.
+        """
+        heap = self._release_heap
+        if not heap:
             return
-        done = [line for line, (ready, _) in self._entries.items()
-                if ready <= now]
-        for line in done:
-            del self._entries[line]
+        entries = self._entries
+        while heap:
+            ready, line = heap[0]
+            if ready > now:
+                break
+            heapq.heappop(heap)
+            entry = entries.get(line)
+            if entry is not None and entry[0] == ready:
+                del entries[line]
 
     def pending(self, line_addr: int, now: int) -> Optional[Tuple[int, bool]]:
         """If a fill for ``line_addr`` is outstanding, return
@@ -68,7 +95,45 @@ class MSHRFile:
                 return False
         self.allocations += 1
         self._entries[line_addr] = (ready_cycle, from_memory)
+        heapq.heappush(self._release_heap, (ready_cycle, line_addr))
         return True
+
+    def force(self, line_addr: int, ready_cycle: int,
+              from_memory: bool = True) -> None:
+        """Register a fill past the capacity limit.
+
+        Stores drain through a write buffer and are never rejected, so
+        their fills must be trackable even when the file is full (the
+        entry still merges later accesses and still feeds the release
+        horizon).
+        """
+        self._entries[line_addr] = (ready_cycle, from_memory)
+        heapq.heappush(self._release_heap, (ready_cycle, line_addr))
+
+    def next_release_cycle(self, now: int) -> Optional[int]:
+        """Earliest cycle at which the file can release an entry.
+
+        This is the first cycle a full file could accept a new demand
+        miss (``allocate`` collects completed fills before rejecting), so
+        it bounds how far the cycle-skipping fast path may jump while a
+        rejected load is replaying.  The result may be ``<= now``: a
+        fill that has already completed but not yet been collected means
+        a slot is free *immediately* (callers must not skip past such a
+        cycle).  Returns None when the file tracks no fills.  Heap pairs
+        whose entry was dropped or re-allocated are pruned here, keeping
+        the query O(log n) amortized rather than a scan of the entry
+        dict.
+        """
+        heap = self._release_heap
+        entries = self._entries
+        while heap:
+            ready, line = heap[0]
+            entry = entries.get(line)
+            if entry is None or entry[0] != ready:
+                heapq.heappop(heap)
+                continue
+            return ready
+        return None
 
     def outstanding_memory_fills(self, now: int) -> int:
         """Number of fills currently being served by main memory."""

@@ -72,6 +72,20 @@ class FetchPolicy:
         needs no future wakeup; returning ``now`` forbids skipping this
         cycle.
 
+        This is the policy's term in the pipeline's *per-structure
+        horizon contract*: every structure that can wake an otherwise
+        quiescent machine must clamp the skip target with its own next
+        wakeup cycle — issue queues via
+        :meth:`~repro.core.issue_queue.IssueQueue.next_ready_cycle`, the
+        MSHR file via
+        :meth:`~repro.mem.mshr.MSHRFile.next_release_cycle`, the FU
+        pools via :meth:`~repro.core.fu.FUPool.next_release_cycle`, the
+        event table and the per-thread fetch/runahead gates inside
+        ``SMTPipeline._skip_target`` — and the policy, here.  A horizon
+        may be conservative (earlier than the true wakeup costs only
+        speed) but never late: skipping past a cycle where the structure
+        would have acted diverges the simulation.
+
         A policy that overrides :meth:`on_cycle` with per-cycle
         behaviour MUST override this accordingly — otherwise the
         pipeline disables cycle skipping entirely for that policy, which

@@ -25,5 +25,7 @@ class ICountPolicy(FetchPolicy):
             # tid tie-break matches sorted()'s stable order.
             return [0, 1] if threads[0].icount <= threads[1].icount \
                 else [1, 0]
-        return sorted(range(len(threads)),
-                      key=lambda tid: (threads[tid].icount, tid))
+        # Ascending-tid input + stable sort = tid tie-break, with the
+        # key lookup running at C level (this is a per-cycle path).
+        icounts = [thread.icount for thread in threads]
+        return sorted(range(len(icounts)), key=icounts.__getitem__)

@@ -33,6 +33,19 @@ class MLPAwarePolicy(ICountPolicy):
         self._window_resolve = [0] * num      # cycle the trigger resolves
         self._window_pc = [0] * num
         self._window_extra_misses = [0] * num
+        #: Minimum pending resolve cycle over all open windows (0 = no
+        #: window open), maintained incrementally at window open/close so
+        #: :meth:`skip_horizon` is O(1) instead of a per-quiescence-check
+        #: scan of ``_window_resolve``.
+        self._min_resolve = 0
+
+    def _refresh_min_resolve(self) -> None:
+        """Recompute the cached minimum (window closed or replaced)."""
+        best = 0
+        for resolve in self._window_resolve:
+            if resolve > 0 and (best == 0 or resolve < best):
+                best = resolve
+        self._min_resolve = best
 
     def _predict(self, pc: int) -> int:
         return int(self._predictions.get(pc % self._entries,
@@ -55,11 +68,20 @@ class MLPAwarePolicy(ICountPolicy):
             return
         allowance = self._predict(inst.pc)
         self._window_end_fetch[tid] = thread.stats.fetched + allowance
-        self._window_resolve[tid] = inst.complete_cycle
+        previous = self._window_resolve[tid]
+        resolve = inst.complete_cycle
+        self._window_resolve[tid] = resolve
         self._window_pc[tid] = inst.pc
         self._window_extra_misses[tid] = 0
+        if previous > 0:
+            # Replaced an expired-but-unclosed window that may have been
+            # the cached minimum.
+            self._refresh_min_resolve()
+        elif self._min_resolve == 0 or resolve < self._min_resolve:
+            self._min_resolve = resolve
 
     def on_cycle(self, now: int) -> None:
+        closed = False
         for tid, thread in enumerate(self.threads):
             resolve = self._window_resolve[tid]
             if resolve <= 0:
@@ -71,17 +93,19 @@ class MLPAwarePolicy(ICountPolicy):
                 self._window_resolve[tid] = 0
                 self._window_end_fetch[tid] = -1
                 thread.ungate_fetch()
+                closed = True
             elif (self._window_end_fetch[tid] >= 0
                   and thread.stats.fetched >= self._window_end_fetch[tid]):
                 thread.gate_fetch_until(resolve)
+        if closed:
+            self._refresh_min_resolve()
 
     def skip_horizon(self, now: int) -> Optional[int]:
         # Window close (train + ungate) must run exactly at its resolve
         # cycle.  The run-on gate test depends only on the fetched
         # counter, which is frozen while the machine is idle, and is
-        # re-applied at the wake cycle before any fetch.
-        horizon: Optional[int] = None
-        for resolve in self._window_resolve:
-            if resolve > 0 and (horizon is None or resolve < horizon):
-                horizon = resolve
-        return horizon
+        # re-applied at the wake cycle before any fetch.  The cached
+        # minimum covers expired-but-unclosed windows too (their close
+        # still has to run), so this is exactly the scan it replaces.
+        resolve = self._min_resolve
+        return resolve if resolve > 0 else None

@@ -130,6 +130,41 @@ class TestRunaheadAcrossSkip:
                 == outcomes[True][0].to_dict())
 
 
+class TestMemoryWaitAcrossSkip:
+    """Intra-thread skipping: ready loads replaying on a full MSHR file.
+
+    A rejected demand load stays READY and retries every stepped cycle;
+    the per-structure horizons (IssueQueue.next_ready_cycle +
+    MemoryHierarchy.next_fill_cycle) let the fast path jump the whole
+    replay window instead of stepping it.
+    """
+
+    def test_replay_window_is_skipped_bit_identically(self):
+        outcomes = run_pair("icount", trace_len=800, mshr_entries=2)
+        stepped, stepped_pipeline = outcomes[False]
+        skipped, skipping_pipeline = outcomes[True]
+        # Premise: the shrunken file actually rejected demand loads.
+        assert stepped_pipeline.mem.mshr.rejects > 0
+        assert skipping_pipeline.skipped_cycles > 0
+        assert skipped.to_dict() == stepped.to_dict()
+
+    def test_skipping_elides_replay_attempts(self):
+        # The stepped model retries the rejected load every idle cycle;
+        # the fast path jumps those cycles, so it must record strictly
+        # fewer rejected attempts while producing the same SimResult
+        # (reject counts are diagnostics, not part of SimResult).
+        outcomes = run_pair("icount", trace_len=800, mshr_entries=2)
+        stepped_rejects = outcomes[False][1].mem.mshr.rejects
+        skipping_rejects = outcomes[True][1].mem.mshr.rejects
+        assert outcomes[True][1].skipped_cycles > 0
+        assert skipping_rejects < stepped_rejects
+
+    def test_rat_under_mshr_pressure_matches(self):
+        outcomes = run_pair("rat", trace_len=800, mshr_entries=4)
+        assert (outcomes[False][0].to_dict()
+                == outcomes[True][0].to_dict())
+
+
 class TestCycleCapAcrossSkip:
     def test_truncated_run_reports_exact_cap(self):
         outcomes = run_pair("stall", benchmarks=("swim", "mcf"),

@@ -34,11 +34,14 @@ DATA_PATH = os.path.join(os.path.dirname(__file__), "data",
                          "golden_digests.json")
 
 #: The pinned matrix: id -> (class, benchmarks, policy, trace_len,
-#: min_passes, max_cycles).  Cells cover every thread count, every
-#: workload class flavour, and every policy with per-cycle behaviour
-#: (dcra / hill / mlp exercise the skip-horizon logic; rat exercises
-#: runahead entry/exit across skips; the truncated cell pins the
-#: max-cycles clamp).
+#: min_passes, max_cycles[, config_overrides]).  Cells cover every
+#: thread count, every workload class flavour, and every policy with
+#: per-cycle behaviour (dcra / hill / mlp exercise the skip-horizon
+#: logic; rat exercises runahead entry/exit across skips; the truncated
+#: cell pins the max-cycles clamp).  The ``-mshr`` cells shrink the MSHR
+#: file so rejected-load replay windows occur densely, pinning the
+#: intra-thread (memory-wait) skip horizon introduced after the original
+#: 14-cell matrix was recorded.
 GOLDEN_CELLS = {
     "single-mcf-icount": ("SINGLE", ("mcf",), "icount", 600, 3, 2_000_000),
     "mem2-icount": ("MEM2", ("art", "mcf"), "icount", 600, 1, 2_000_000),
@@ -57,16 +60,21 @@ GOLDEN_CELLS = {
                  500, 1, 2_000_000),
     "mem2-stall-truncated": ("MEM2", ("swim", "mcf"), "stall",
                              600, 50, 3_000),
+    "mem2-rat-mshr4": ("MEM2", ("art", "mcf"), "rat", 600, 1, 2_000_000,
+                       {"mshr_entries": 4}),
+    "mem2-icount-mshr2": ("MEM2", ("art", "mcf"), "icount", 600, 1,
+                          2_000_000, {"mshr_entries": 2}),
 }
 
 
 def simulate_golden_cell(cell_id: str):
     """Run one pinned cell from scratch (no engine, no cache)."""
-    klass, benchmarks, policy, trace_len, min_passes, max_cycles = \
-        GOLDEN_CELLS[cell_id]
+    cell = GOLDEN_CELLS[cell_id]
+    klass, benchmarks, policy, trace_len, min_passes, max_cycles = cell[:6]
+    overrides = cell[6] if len(cell) > 6 else {}
     Workload(klass, tuple(benchmarks))  # validates the benchmark names
     traces = [generate_trace(name, trace_len, seed=1) for name in benchmarks]
-    config = baseline().with_policy(policy)
+    config = baseline().with_policy(policy, **overrides)
     processor = SMTProcessor(config, traces)
     return processor.run(min_passes=min_passes, max_cycles=max_cycles)
 

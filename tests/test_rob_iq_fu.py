@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.dyninst import DynInst, InstState
 from repro.core.fu import FUPool
-from repro.core.issue_queue import IssueQueue
+from repro.core.issue_queue import IssueQueue, MEMORY_WAIT
 from repro.core.rob import SharedROB
 from repro.errors import SimulationError
 from repro.isa import FUKind, OpClass
@@ -134,6 +134,73 @@ class TestIssueQueue:
         assert queue.ready_count() == 1
 
 
+class TestNextReadyCycle:
+    """The queue's term in the per-structure skip-horizon contract."""
+
+    def test_empty_queue_has_no_wakeup(self):
+        queue = IssueQueue("ls", 8, 1)
+        assert queue.next_ready_cycle(100) is None
+
+    def test_live_ready_entry_pins_now(self):
+        queue = IssueQueue("ls", 8, 1)
+        inst = _inst()
+        inst.state = InstState.READY
+        queue.mark_ready(inst)
+        assert queue.next_ready_cycle(100) == 100
+
+    def test_replay_only_defers_to_memory(self):
+        queue = IssueQueue("ls", 8, 1)
+        inst = _inst(op=OpClass.LOAD)
+        inst.state = InstState.READY
+        queue.insert(inst)
+        queue.requeue(inst, replay=True)
+        assert inst.replay
+        assert queue.next_ready_cycle(100) == MEMORY_WAIT
+
+    def test_mixed_ready_and_replay_pins_now(self):
+        queue = IssueQueue("ls", 8, 2)
+        replaying = _inst(tid=0, seq=0, op=OpClass.LOAD)
+        replaying.state = InstState.READY
+        queue.insert(replaying)
+        queue.requeue(replaying, replay=True)
+        issueable = _inst(tid=1, seq=1)
+        issueable.state = InstState.READY
+        queue.mark_ready(issueable)
+        assert queue.next_ready_cycle(7) == 7
+
+    def test_take_ready_sheds_replay_deferral(self):
+        queue = IssueQueue("ls", 8, 1)
+        inst = _inst(op=OpClass.LOAD)
+        inst.state = InstState.READY
+        queue.insert(inst)
+        queue.requeue(inst, replay=True)
+        selected = queue.take_ready(4)
+        assert selected == [inst]
+        assert not inst.replay
+        assert queue._replay_blocked == 0
+
+    def test_remove_clears_replay_accounting(self):
+        # A replaying load squashed while waiting must not leave the
+        # queue claiming a memory wait forever.
+        queue = IssueQueue("ls", 8, 1)
+        inst = _inst(op=OpClass.LOAD)
+        inst.state = InstState.READY
+        queue.insert(inst)
+        queue.requeue(inst, replay=True)
+        inst.state = InstState.SQUASHED
+        queue.remove(inst)
+        assert queue._replay_blocked == 0
+        assert queue.next_ready_cycle(3) is None
+
+    def test_stale_only_list_is_cleared(self):
+        queue = IssueQueue("int", 8, 1)
+        inst = _inst()
+        inst.state = InstState.SQUASHED
+        queue.mark_ready(inst)
+        assert queue.next_ready_cycle(0) is None
+        assert queue._ready == []
+
+
 class TestFUPool:
     def test_budgets_match_table1(self):
         pool = FUPool(6, 3, 4)
@@ -167,3 +234,11 @@ class TestFUPool:
     def test_rejects_empty_pool(self):
         with pytest.raises(ValueError):
             FUPool(0, 1, 1)
+
+    def test_next_release_is_next_cycle(self):
+        # Fully-pipelined pools refresh every budget at the next cycle
+        # boundary; the horizon must say so regardless of current usage.
+        pool = FUPool(1, 1, 1)
+        assert pool.next_release_cycle(41) == 42
+        pool.acquire(int(OpClass.IALU))
+        assert pool.next_release_cycle(41) == 42
