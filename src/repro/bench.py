@@ -295,15 +295,16 @@ def compare_summary(report: Dict, reference: Dict) -> List[str]:
 
 
 def write_report(report: Dict, path: Optional[str] = None) -> str:
-    """Write ``BENCH_<rev>.json`` (or ``path``); returns the path."""
+    """Write ``BENCH_<rev>.json`` (or ``path``); returns the path.
+
+    Uses the store's atomic temp-file + replace protocol so an
+    interrupted bench run can never leave a torn report where CI's
+    ``--check`` would read it.
+    """
     if path is None:
         path = f"BENCH_{report['revision']}.json"
-    directory = os.path.dirname(path)
-    if directory:
-        os.makedirs(directory, exist_ok=True)
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    from .sim.store import atomic_write_json
+    atomic_write_json(path, report, indent=2, trailing_newline=True)
     return path
 
 

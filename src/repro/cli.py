@@ -7,23 +7,38 @@ Examples::
     python -m repro all --jobs 0 --cache-dir ~/.cache/repro-smt
     python -m repro all --format json --output results/
     repro-smt figure6 --classes MEM2 MEM4 --format csv
+    repro-smt plan all --workloads-per-class 1 > manifest.json
+    repro-smt all --shard 1/3 --cache-dir /shared/cache   # machine 1
+    repro-smt all --shard 2/3 --cache-dir /shared/cache   # machine 2
+    repro-smt all --shard 3/3 --cache-dir /shared/cache   # machine 3
+    repro-smt all --cache-dir /shared/cache               # assemble union
     repro-smt bench --quick --check benchmarks/BENCH_baseline.json
     repro-smt cache stats --cache-dir ~/.cache/repro-smt
     repro-smt cache prune --cache-dir ~/.cache/repro-smt --stale-salts
 
-Besides the exhibit names, two maintenance subcommands exist: ``bench``
-times representative simulation cells and emits a ``BENCH_<rev>.json``
-report (see :mod:`repro.bench`), and ``cache`` inspects or prunes a
-``--cache-dir`` result store (see :mod:`repro.sim.store`).
+Besides the exhibit names, three maintenance subcommands exist:
+``plan`` emits a campaign's JSON manifest without running anything (see
+:mod:`repro.sim.manifest`), ``bench`` times representative simulation
+cells and emits a ``BENCH_<rev>.json`` report (see :mod:`repro.bench`),
+and ``cache`` inspects or prunes a ``--cache-dir`` result store (see
+:mod:`repro.sim.store`).
 
 However many exhibits are requested, their planned simulation cells are
 unioned into **one** deduplicated batch (costliest cells first), so
 ``repro all --jobs N`` fills the worker pool exactly once and shared
 cells are simulated a single time.  ``--jobs N`` fans cells out over N
-worker processes (0 = one per CPU core); ``--cache-dir PATH`` persists
-every result on disk so a repeated (or extended) campaign only simulates
-what it has never measured before.  Results are bit-identical whichever
-backend or cache served them.
+workers of the chosen ``--backend`` (``process`` pools by default;
+``thread`` avoids pickling — see the GIL caveat in
+:mod:`repro.sim.executors`); ``--cache-dir PATH`` persists every result
+on disk so a repeated (or extended) campaign only simulates what it has
+never measured before, and additionally caches each exhibit's rendered
+output keyed by its planned cell set, so untouched figures skip even
+assembly.  ``--shard K/N`` turns the invocation into the execute-only
+stage of a distributed campaign: it simulates only the deterministic
+K-of-N slice of the batch into the shared store and renders nothing —
+run every shard (any machines, any order), then assemble with a final
+unsharded invocation.  Results are bit-identical whichever backend,
+shard split or cache served them.
 """
 
 from __future__ import annotations
@@ -37,16 +52,23 @@ import time
 from typing import List, Optional
 
 from .config import baseline
+from .errors import ManifestError
 from .experiments import Campaign, ExhibitContext, exhibit_names
 from .experiments.common import RENDER_FORMATS
+from .experiments.report import manifest_summary
 from .sim.engine import (ProcessPoolBackend, SerialBackend, SimEngine,
                          set_engine)
+from .sim.executors import ShardSpec, ShardedExecutor, get_executor
 from .sim.runner import RunSpec, default_spec
-from .sim.store import DiskStore, MemoryStore
+from .sim.store import (EXHIBIT_DIR, DiskStore, ExhibitRenderCache,
+                        MemoryStore)
 from .trace.workloads import WORKLOAD_CLASSES
 
 #: File extension per --format value.
 FORMAT_EXTENSIONS = {"text": "txt", "json": "json", "csv": "csv"}
+
+#: Executors selectable via --backend ('sharded' wraps these, via --shard).
+BACKEND_CHOICES = ("serial", "process", "thread")
 
 
 def _jobs(value: str) -> int:
@@ -56,15 +78,23 @@ def _jobs(value: str) -> int:
     return jobs
 
 
+def _shard(value: str) -> ShardSpec:
+    try:
+        return ShardSpec.parse(value)
+    except ManifestError as error:
+        raise argparse.ArgumentTypeError(str(error))
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-smt",
         description="Reproduce 'Runahead Threads to Improve SMT "
                     "Performance' (HPCA 2008): regenerate its tables "
                     "and figures on the bundled simulator.",
-        epilog="Maintenance subcommands: 'repro-smt bench --help' "
-               "(wall-clock benchmark harness), 'repro-smt cache --help' "
-               "(result-store stats / pruning).")
+        epilog="Maintenance subcommands: 'repro-smt plan --help' "
+               "(emit a campaign's JSON manifest), 'repro-smt bench "
+               "--help' (wall-clock benchmark harness), 'repro-smt "
+               "cache --help' (result-store stats / pruning).")
     parser.add_argument("exhibit",
                         choices=sorted(exhibit_names()) + ["all"],
                         help="which exhibit to regenerate ('all' plans "
@@ -82,14 +112,31 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=list(WORKLOAD_CLASSES),
                         help="restrict to specific workload classes")
     parser.add_argument("--jobs", "-j", type=_jobs, default=1,
-                        help="worker processes for independent "
-                             "simulation cells (default: 1 = serial; "
-                             "0 = auto-detect, one per CPU core; "
-                             "results are identical either way)")
+                        help="workers for independent simulation cells "
+                             "(default: 1 = serial; 0 = auto-detect, "
+                             "one per CPU core; results are identical "
+                             "either way)")
+    parser.add_argument("--backend", choices=BACKEND_CHOICES,
+                        default=None,
+                        help="executor running the cells: 'process' "
+                             "(worker processes, the --jobs default), "
+                             "'thread' (no pickling/spawn; see the GIL "
+                             "caveat in repro.sim.executors), or "
+                             "'serial' (default: serial when --jobs is "
+                             "1, process otherwise)")
+    parser.add_argument("--shard", type=_shard, default=None,
+                        metavar="K/N",
+                        help="execute-only: simulate the deterministic "
+                             "K-of-N slice of the campaign into the "
+                             "shared --cache-dir (required) and render "
+                             "nothing; run all N shards, then assemble "
+                             "with a final unsharded invocation")
     parser.add_argument("--cache-dir", default=None,
                         help="directory persisting simulation results "
-                             "across invocations (content-addressed; "
-                             "safe to share between concurrent runs)")
+                             "and rendered exhibits across invocations "
+                             "(content-addressed; safe to share between "
+                             "concurrent runs, including --shard "
+                             "executors)")
     parser.add_argument("--format", choices=RENDER_FORMATS,
                         default="text", dest="format",
                         help="output rendering: 'text' (the paper's "
@@ -116,13 +163,20 @@ def make_spec(args: argparse.Namespace) -> RunSpec:
 
 
 def make_engine(args: argparse.Namespace) -> SimEngine:
-    """Build the engine the whole invocation runs on."""
-    if args.jobs == 0:
-        backend = ProcessPoolBackend()  # one worker per CPU core
-    elif args.jobs > 1:
-        backend = ProcessPoolBackend(args.jobs)
-    else:
-        backend = SerialBackend()
+    """Build the engine the whole invocation runs on.
+
+    The backend comes from the executor registry: an explicit
+    ``--backend``, else ``serial``/``process`` picked from ``--jobs``.
+    A ``--shard K/N`` wraps the chosen executor in a
+    :class:`~repro.sim.executors.ShardedExecutor`.
+    """
+    name = args.backend
+    if name is None:
+        name = "serial" if args.jobs == 1 else "process"
+    backend = get_executor(name, args.jobs if args.jobs > 0 else None)
+    shard = getattr(args, "shard", None)
+    if shard is not None:
+        backend = ShardedExecutor(shard, backend)
     if args.cache_dir:
         store = DiskStore(args.cache_dir)
     else:
@@ -130,17 +184,36 @@ def make_engine(args: argparse.Namespace) -> SimEngine:
     return SimEngine(backend=backend, store=store)
 
 
+def make_render_cache(args: argparse.Namespace
+                      ) -> Optional[ExhibitRenderCache]:
+    """The exhibit-render cache living inside ``--cache-dir``, if any."""
+    if not args.cache_dir:
+        return None
+    return ExhibitRenderCache(os.path.join(args.cache_dir, EXHIBIT_DIR))
+
+
 class ProgressPrinter:
     """Per-cell campaign progress on stderr.
+
+    This is the single sink of the engine's progress callback — every
+    backend (serial, process, thread, sharded) reports through
+    ``SimEngine``'s ``(done, total, cached)`` callback, so the rendering
+    is uniform however the cells execute.  The line always carries the
+    campaign-level totals, and a sharded invocation adds its slice:
+    ``[campaign] cell 12/32 (shard 2/4 of 96-cell campaign, ...)``.
 
     On a terminal the line updates in place; otherwise milestones are
     printed one per line (start, every ~10%, and completion), so CI logs
     stay readable.
     """
 
-    def __init__(self, name: str, stream=None) -> None:
+    def __init__(self, name: str, stream=None,
+                 shard: Optional[ShardSpec] = None,
+                 campaign_cells: Optional[int] = None) -> None:
         self.name = name
         self.stream = stream if stream is not None else sys.stderr
+        self.shard = shard
+        self.campaign_cells = campaign_cells
         self._tty = bool(getattr(self.stream, "isatty", lambda: False)())
         self._last_milestone = -1
         self._last_width = 0
@@ -148,8 +221,13 @@ class ProgressPrinter:
 
     def __call__(self, done: int, total: int, cached: int) -> None:
         running = total - done
-        line = (f"[{self.name}] cells {done}/{total} "
-                f"({cached} cached, {done - cached} simulated, "
+        context = ""
+        if self.shard is not None:
+            campaign = (f" of {self.campaign_cells}-cell campaign"
+                        if self.campaign_cells is not None else "")
+            context = f"shard {self.shard}{campaign}, "
+        line = (f"[{self.name}] cell {done}/{total} "
+                f"({context}{cached} cached, {done - cached} simulated, "
                 f"{running} running)")
         if self._tty:
             # Pad to the previous line's width so shrinking fields
@@ -178,6 +256,60 @@ def _write_output(directory: str, name: str, fmt: str, text: str,
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(text if text.endswith("\n") else text + "\n")
     print(f"[wrote {path}]", file=status)
+
+
+def build_plan_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-smt plan",
+        description="Emit a campaign's JSON manifest — the serializable "
+                    "plan of every content-addressed simulation cell "
+                    "the requested exhibits derive from — without "
+                    "executing anything.  The manifest round-trips "
+                    "through repro.sim.manifest.CampaignManifest and "
+                    "is what --shard K/N invocations split.")
+    parser.add_argument("exhibit",
+                        choices=sorted(exhibit_names()) + ["all"],
+                        help="which exhibit(s) to plan")
+    parser.add_argument("--trace-len", type=int, default=None,
+                        help="instructions per thread trace")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="trace generation seed")
+    parser.add_argument("--workloads-per-class", type=int, default=None,
+                        help="cap workloads per class")
+    parser.add_argument("--classes", nargs="+", default=None,
+                        choices=list(WORKLOAD_CLASSES),
+                        help="restrict to specific workload classes")
+    parser.add_argument("--shard", type=_shard, default=None,
+                        metavar="K/N",
+                        help="emit only the deterministic K-of-N slice "
+                             "of the manifest")
+    parser.add_argument("--output", default=None, metavar="PATH",
+                        help="write the manifest to PATH instead of "
+                             "stdout")
+    return parser
+
+
+def plan_main(argv: List[str]) -> int:
+    args = build_plan_parser().parse_args(argv)
+    names = (sorted(exhibit_names()) if args.exhibit == "all"
+             else [args.exhibit])
+    ctx = ExhibitContext.make(baseline(), make_spec(args), args.classes,
+                              args.workloads_per_class)
+    manifest = Campaign(names, ctx=ctx, engine=SimEngine()).plan()
+    if args.shard is not None:
+        manifest = manifest.filter_shard(args.shard)
+    print(manifest_summary(manifest), file=sys.stderr)
+    text = manifest.to_json()
+    if args.output:
+        directory = os.path.dirname(args.output)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"[wrote {args.output}]", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    return 0
 
 
 def build_bench_parser() -> argparse.ArgumentParser:
@@ -301,7 +433,8 @@ def cache_main(argv: List[str]) -> int:
 
 
 #: Maintenance subcommands dispatched ahead of the exhibit interface.
-SUBCOMMANDS = {"bench": bench_main, "cache": cache_main}
+SUBCOMMANDS = {"plan": plan_main, "bench": bench_main,
+               "cache": cache_main}
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -309,10 +442,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     if argv and argv[0] in SUBCOMMANDS:
         return SUBCOMMANDS[argv[0]](argv[1:])
     args = build_parser().parse_args(argv)
+    if args.shard is not None and not args.cache_dir:
+        print("repro-smt: error: --shard needs a shared --cache-dir — "
+              "a shard's results are only useful in a store the "
+              "assembling invocation can read", file=sys.stderr)
+        return 2
     spec = make_spec(args)
     config = baseline()
     try:
         engine = make_engine(args)
+        cache = make_render_cache(args)
     except OSError as error:
         print(f"repro-smt: error: unusable --cache-dir "
               f"{args.cache_dir!r}: {error}", file=sys.stderr)
@@ -329,25 +468,41 @@ def main(argv: Optional[List[str]] = None) -> int:
         ctx = ExhibitContext.make(config, spec, args.classes,
                                   args.workloads_per_class)
         campaign = Campaign(names, ctx=ctx, engine=engine)
+        label = names[0] if single else "campaign"
+        manifest = campaign.plan()
+
+        if args.shard is not None:
+            # Execute-only: simulate this shard's slice into the shared
+            # store; a later unsharded invocation assembles the union.
+            progress = None
+            if not args.no_progress:
+                progress = ProgressPrinter(
+                    label, shard=args.shard,
+                    campaign_cells=len(manifest))
+            started = time.time()
+            report = engine.execute_cells(manifest.cells(),
+                                          progress=progress)
+            if progress is not None:
+                progress.finish()
+            print(f"[{label} shard {args.shard}: executed "
+                  f"{report.owned} of {report.planned} cells | "
+                  f"simulated={report.simulated}, "
+                  f"cache_hits={report.cached}, "
+                  f"other_shards={report.skipped} | "
+                  f"{time.time() - started:.1f}s]", file=status)
+            return 0
 
         progress = None
         if not args.no_progress:
-            progress = ProgressPrinter(names[0] if single else "campaign")
+            progress = ProgressPrinter(label)
         started = time.time()
         before = engine.counters.snapshot()
-        batch = campaign.plan()
-        index = engine.run_index(batch, progress=progress)
+        results, regen = campaign.regenerate(cache=cache,
+                                             progress=progress)
         if progress is not None:
             progress.finish()
         batch_delta = engine.counters.since(before)
-        batch_elapsed = time.time() - started
-
-        results = {}
-        assemble_elapsed = {}
-        for ex in campaign.exhibits:
-            t0 = time.time()
-            results[ex.name] = ex.assemble(ctx, index)
-            assemble_elapsed[ex.name] = time.time() - t0
+        elapsed = time.time() - started
 
         # Write --output files before emitting to stdout: a downstream
         # consumer closing the pipe early must not cost the files.
@@ -357,12 +512,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                               results[name].render(fmt), status)
 
         if not single:
-            print(f"[campaign: {len(names)} exhibits -> {len(batch)} "
-                  f"unique cells in one batch | "
-                  f"simulated={batch_delta.simulated}, "
+            print(f"[campaign: {len(names)} exhibits -> {len(manifest)} "
+                  f"unique cells planned, {regen.cells_executed} in the "
+                  f"batch | simulated={batch_delta.simulated}, "
                   f"cache_hits={batch_delta.store_hits}, "
                   f"reused={batch_delta.memo_hits} | "
-                  f"{batch_elapsed:.1f}s]", file=status)
+                  f"{len(regen.assembled)} assembled, "
+                  f"{len(regen.from_cache)} from render cache | "
+                  f"{elapsed:.1f}s]", file=status)
 
         if fmt == "json" and not single:
             document = {name: results[name].to_dict() for name in names}
@@ -376,15 +533,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                 text = result.render(fmt)
                 print(text, end="" if text.endswith("\n") else "\n")
                 if single:
-                    elapsed = batch_elapsed + assemble_elapsed[name]
-                    print(f"[{name} regenerated in {elapsed:.1f}s | "
+                    source = (" from render cache"
+                              if name in regen.from_cache else "")
+                    print(f"[{name} regenerated in {elapsed:.1f}s"
+                          f"{source} | "
                           f"simulated={batch_delta.simulated}, "
                           f"cache_hits={batch_delta.store_hits}, "
                           f"reused={batch_delta.memo_hits}]", file=status)
+                elif name in regen.from_cache:
+                    print(f"[{name} served from the render cache]",
+                          file=status)
                 else:
-                    print(f"[{name} assembled in "
-                          f"{assemble_elapsed[name]:.2f}s from the "
-                          f"shared batch]", file=status)
+                    print(f"[{name} assembled from the shared batch]",
+                          file=status)
                 if fmt == "text":
                     print()
 

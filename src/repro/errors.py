@@ -51,6 +51,29 @@ class UnknownExhibitError(ReproError):
         self.name = name
 
 
+class ManifestError(ReproError):
+    """A campaign manifest is malformed, stale, or sharded inconsistently."""
+
+
+class IncompleteBatchError(ReproError):
+    """A backend finished without producing results for every cell.
+
+    The assembly path (``SimEngine.run_cells``) needs the whole batch;
+    a sharded executor deliberately computes only its slice, so pointing
+    assembly at one is an error — execute each shard first, then
+    assemble the union from the shared store.
+    """
+
+    def __init__(self, missing: int, total: int, hint: str = "") -> None:
+        message = (f"backend produced results for {total - missing} of "
+                   f"{total} cells")
+        if hint:
+            message = f"{message}: {hint}"
+        super().__init__(message)
+        self.missing = missing
+        self.total = total
+
+
 class SimulationError(ReproError):
     """The simulator reached an impossible state (internal invariant broken)."""
 

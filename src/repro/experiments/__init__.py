@@ -17,7 +17,8 @@ below under the exhibit's name) that executes a single-exhibit campaign.
 """
 
 from .common import (Campaign, Exhibit, ExhibitContext, ExhibitResult,
-                     ExhibitSection, bench_spec, bench_workloads_per_class)
+                     ExhibitSection, RegenReport, bench_spec,
+                     bench_workloads_per_class)
 from .registry import all_exhibits, exhibit_names, get_exhibit
 from .table1 import run as table1
 from .table2 import run as table2
@@ -47,6 +48,7 @@ __all__ = [
     "ExhibitContext",
     "ExhibitResult",
     "ExhibitSection",
+    "RegenReport",
     "bench_spec",
     "bench_workloads_per_class",
     "all_exhibits",

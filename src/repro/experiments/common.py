@@ -33,6 +33,8 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..config import SMTConfig, baseline
 from ..sim.engine import RunIndex, SweepCell
+from ..sim.manifest import (CampaignManifest, ExhibitPlan, ManifestEntry,
+                            exhibit_render_key)
 from ..sim.runner import RunSpec, default_spec
 from ..trace.workloads import WORKLOAD_CLASSES
 
@@ -95,6 +97,15 @@ class ExhibitContext:
                    classes=tuple(classes) if classes else WORKLOAD_CLASSES,
                    workloads_per_class=workloads_per_class)
 
+    def to_payload(self) -> Dict:
+        """Canonical JSON-safe form (feeds manifest and render keys)."""
+        return {
+            "config": self.config.to_dict(),
+            "spec": self.spec.to_dict(),
+            "classes": list(self.classes),
+            "workloads_per_class": self.workloads_per_class,
+        }
+
 
 @dataclasses.dataclass
 class ExhibitSection:
@@ -120,6 +131,13 @@ class ExhibitSection:
             "note": self.note,
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ExhibitSection":
+        return cls(headers=tuple(data["headers"]),
+                   rows=[list(row) for row in data["rows"]],
+                   title=data.get("title", ""),
+                   note=data.get("note", ""))
+
 
 @dataclasses.dataclass
 class ExhibitResult:
@@ -144,6 +162,21 @@ class ExhibitResult:
             "data": self.payload,
             "sections": [section.to_dict() for section in self.sections],
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ExhibitResult":
+        """Rebuild a result from its JSON-safe form (the render cache).
+
+        Renderings of the rebuilt result are byte-identical to the
+        original's — every renderer consumes only sections and payload.
+        The rich in-process ``data`` values are not serialized, so they
+        come back empty; programmatic callers wanting them assemble from
+        runs instead of the cache.
+        """
+        return cls(exhibit=data["exhibit"], title=data["title"],
+                   sections=[ExhibitSection.from_dict(section)
+                             for section in data["sections"]],
+                   data={}, payload=data["data"])
 
     def render(self, fmt: str = "text") -> str:
         """Render as ``text`` (the paper's ASCII tables), ``json`` or
@@ -189,6 +222,12 @@ class Exhibit:
 
     name: str = ""
     title: str = ""
+    #: Assembly/render version, folded into the exhibit's render-cache
+    #: key.  Bump it when *this* exhibit's ``assemble`` output changes
+    #: (new column, different note, reshaped payload) so only its cached
+    #: renderings are invalidated; presentation changes shared by every
+    #: exhibit bump ``EXHIBIT_RENDER_SALT`` in ``sim/store.py`` instead.
+    version: int = 1
 
     def plan(self, ctx: ExhibitContext) -> List[SweepCell]:
         """Declare every simulation cell this exhibit derives from."""
@@ -242,14 +281,29 @@ def order_cells_by_cost(cells: Sequence[SweepCell]) -> List[SweepCell]:
     return sorted(cells, key=cell_cost, reverse=True)
 
 
+@dataclasses.dataclass(frozen=True)
+class RegenReport:
+    """How a cache-aware regeneration satisfied its exhibits."""
+
+    assembled: Tuple[str, ...]    # assembled fresh from runs
+    from_cache: Tuple[str, ...]   # served whole from the render cache
+    cells_executed: int           # batch size handed to the engine
+
+
 class Campaign:
     """One deduplicated simulation batch serving any set of exhibits.
 
-    The campaign unions every requested exhibit's planned cells, drops
+    ``plan()`` unions every requested exhibit's planned cells, drops
     duplicates (by content-addressed cell key), orders the remainder
-    costliest-first and submits them to the engine as a single
-    ``run_cells`` batch.  Each exhibit is then assembled from the shared
-    :class:`~repro.sim.engine.RunIndex` — no further simulation.
+    costliest-first and returns a serializable
+    :class:`~repro.sim.manifest.CampaignManifest` — the artifact the
+    execute (``SimEngine.execute_cells``, optionally sharded) and
+    assemble stages consume.  ``execute()``/``run()`` keep the one-shot
+    in-process path: one ``run_cells`` batch, then each exhibit is
+    assembled from the shared :class:`~repro.sim.engine.RunIndex` — no
+    further simulation.  ``regenerate()`` additionally consults an
+    exhibit-render cache so untouched figures skip assembly (and their
+    cells skip execution) entirely.
     """
 
     def __init__(self, exhibits: Sequence[Union[str, Exhibit]],
@@ -263,6 +317,7 @@ class Campaign:
         self.ctx = ctx if ctx is not None else ExhibitContext.make()
         self.engine = resolve_engine(engine)
         self._plans: Optional[Dict[str, List[SweepCell]]] = None
+        self._manifest: Optional[CampaignManifest] = None
 
     def plans(self) -> Dict[str, List[SweepCell]]:
         """Each exhibit's declared cells, keyed by exhibit name."""
@@ -271,17 +326,46 @@ class Campaign:
                            for ex in self.exhibits}
         return self._plans
 
-    def plan(self) -> List[SweepCell]:
-        """The union of every exhibit's cells: deduplicated, cost-ordered."""
-        unique: Dict[str, SweepCell] = {}
-        for cells in self.plans().values():
-            for cell in cells:
-                unique.setdefault(cell.key(), cell)
-        return order_cells_by_cost(unique.values())
+    def plan(self) -> CampaignManifest:
+        """The campaign's manifest: deduplicated, cost-ordered, keyed.
+
+        A pure function of the exhibit set and context — two machines
+        planning the same campaign emit byte-identical manifests, which
+        is what makes the K/N shard split coordination-free.
+        """
+        if self._manifest is None:
+            unique: Dict[str, SweepCell] = {}
+            owners: Dict[str, set] = {}
+            for name, cells in self.plans().items():
+                for cell in cells:
+                    key = cell.key()
+                    unique.setdefault(key, cell)
+                    owners.setdefault(key, set()).add(name)
+            ordered = order_cells_by_cost(unique.values())
+            ctx_payload = self.ctx.to_payload()
+            entries = []
+            for cell in ordered:
+                key = cell.key()
+                entries.append(ManifestEntry(
+                    key=key, cell=cell, cost=cell_cost(cell),
+                    exhibits=tuple(sorted(owners[key]))))
+            plans = []
+            for ex in self.exhibits:
+                cell_keys = tuple(sorted(
+                    {cell.key() for cell in self.plans()[ex.name]}))
+                plans.append(ExhibitPlan(
+                    name=ex.name, title=ex.title, version=ex.version,
+                    cell_keys=cell_keys,
+                    render_key=exhibit_render_key(
+                        ex.name, ex.version, cell_keys, ctx_payload)))
+            self._manifest = CampaignManifest(
+                entries=tuple(entries), exhibits=tuple(plans),
+                context=ctx_payload)
+        return self._manifest
 
     def execute(self, progress=None) -> RunIndex:
         """Simulate the single unified batch; returns the run index."""
-        batch = self.plan()
+        batch = self.plan().cells()
         runs = self.engine.run_cells(batch, progress=progress)
         return RunIndex.from_runs(batch, runs)
 
@@ -293,3 +377,47 @@ class Campaign:
     def run(self, progress=None) -> Dict[str, ExhibitResult]:
         """Plan, execute and assemble in one call."""
         return self.assemble(self.execute(progress=progress))
+
+    def regenerate(self, cache=None, progress=None
+                   ) -> Tuple[Dict[str, ExhibitResult], RegenReport]:
+        """Assemble every exhibit, serving untouched ones from a cache.
+
+        ``cache`` is an
+        :class:`~repro.sim.store.ExhibitRenderCache` (or ``None`` to
+        always assemble).  Exhibits whose manifest ``render_key`` hits
+        are rebuilt from their cached document without touching any run;
+        only the union of the *remaining* exhibits' cells is executed.
+        A campaign whose every exhibit hits performs zero simulations
+        and zero re-renders.
+        """
+        manifest = self.plan()
+        results: Dict[str, ExhibitResult] = {}
+        from_cache: List[str] = []
+        pending: List[Exhibit] = []
+        for ex in self.exhibits:
+            document = (cache.get(manifest.exhibit_plan(ex.name).render_key)
+                        if cache is not None else None)
+            if document is not None:
+                results[ex.name] = ExhibitResult.from_dict(document)
+                from_cache.append(ex.name)
+            else:
+                pending.append(ex)
+        batch: List[SweepCell] = []
+        if pending:
+            needed = set()
+            for ex in pending:
+                needed.update(manifest.exhibit_plan(ex.name).cell_keys)
+            batch = [entry.cell for entry in manifest.entries
+                     if entry.key in needed]
+            runs = self.engine.run_cells(batch, progress=progress)
+            index = RunIndex.from_runs(batch, runs)
+            for ex in pending:
+                result = ex.assemble(self.ctx, index)
+                results[ex.name] = result
+                if cache is not None:
+                    cache.put(manifest.exhibit_plan(ex.name).render_key,
+                              result.to_dict())
+        return results, RegenReport(
+            assembled=tuple(ex.name for ex in pending),
+            from_cache=tuple(from_cache),
+            cells_executed=len(batch))

@@ -13,19 +13,28 @@ The registry maps CLI names to ready-to-use exhibit *instances*; the
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple, Type
+from typing import Callable, Dict, Optional, Tuple, Type
 
 from ..errors import UnknownExhibitError
 
 _REGISTRY: Dict[str, "Exhibit"] = {}  # type: ignore[name-defined]  # noqa: F821
 
 
-def exhibit(name: str, title: str = "") -> Callable[[Type], Type]:
-    """Class decorator registering an exhibit instance under ``name``."""
+def exhibit(name: str, title: str = "",
+            version: Optional[int] = None) -> Callable[[Type], Type]:
+    """Class decorator registering an exhibit instance under ``name``.
+
+    ``version`` (default: the class attribute, 1) feeds the exhibit's
+    render-cache key — bump it when the exhibit's assembled output
+    changes so stale cached renderings of *this* exhibit miss; see
+    ``Exhibit.version``.
+    """
     def _register(cls: Type) -> Type:
         cls.name = name
         if title:
             cls.title = title
+        if version is not None:
+            cls.version = version
         _REGISTRY[name] = cls()
         return cls
     return _register

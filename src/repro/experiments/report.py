@@ -5,6 +5,32 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 
+def manifest_summary(manifest) -> str:
+    """Human-readable digest of a :class:`CampaignManifest`.
+
+    ``repro plan`` prints this to stderr beside the JSON document: one
+    row per exhibit (planned cells, estimated share of the campaign's
+    cost, render-key prefix) plus campaign totals and, when the manifest
+    is a shard, the slice it owns.
+    """
+    key_cost = {entry.key: entry.cost[0] for entry in manifest.entries}
+    total_cost = sum(key_cost.values()) or 1
+    rows = []
+    for plan in manifest.exhibits:
+        cost = sum(key_cost[key] for key in plan.cell_keys
+                   if key in key_cost)
+        rows.append([plan.name, len(plan.cell_keys),
+                     f"{100.0 * cost / total_cost:.0f}%",
+                     plan.render_key[:12]])
+    table = ascii_table(("Exhibit", "Cells", "Cost share", "Render key"),
+                        rows)
+    shard = f", shard {manifest.shard}" if manifest.shard else ""
+    header = (f"campaign manifest: {len(manifest)} unique cells, "
+              f"{len(manifest.exhibits)} exhibits{shard} "
+              f"(salt {manifest.salt})")
+    return f"{header}\n{table}"
+
+
 def ascii_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
                 title: str = "") -> str:
     """Fixed-width table; floats are rendered with 3 decimals."""

@@ -14,12 +14,16 @@ and, with a disk store, whole invocations reuse earlier campaigns.
 from .runner import (RunSpec, WorkloadRun, build_traces, run_workload,
                      clear_run_cache)
 from .baselines import single_thread_ipc
-from .engine import (ProcessPoolBackend, RunIndex, SerialBackend,
-                     SimEngine, SweepCell, get_engine, reference_cell,
-                     set_engine, simulate_cell)
+from .engine import (ExecutionReport, ProcessPoolBackend, RunIndex,
+                     SerialBackend, SimEngine, SweepCell, get_engine,
+                     reference_cell, set_engine, simulate_cell)
+from .executors import (ShardSpec, ShardedExecutor, ThreadPoolBackend,
+                        executor_names, get_executor)
 from .fame import fame_run
+from .manifest import CampaignManifest, ExhibitPlan, ManifestEntry
 from .results import ClassAggregate, aggregate_by_class
-from .store import DiskStore, MemoryStore, ResultStore, cache_key
+from .store import (DiskStore, ExhibitRenderCache, MemoryStore,
+                    ResultStore, cache_key)
 from .sweep import (PolicySweep, assemble_policy_sweep, plan_policy_sweep,
                     sweep_policies)
 
@@ -35,6 +39,15 @@ __all__ = [
     "RunIndex",
     "SerialBackend",
     "ProcessPoolBackend",
+    "ThreadPoolBackend",
+    "ShardedExecutor",
+    "ShardSpec",
+    "ExecutionReport",
+    "executor_names",
+    "get_executor",
+    "CampaignManifest",
+    "ManifestEntry",
+    "ExhibitPlan",
     "get_engine",
     "set_engine",
     "reference_cell",
@@ -42,6 +55,7 @@ __all__ = [
     "ResultStore",
     "MemoryStore",
     "DiskStore",
+    "ExhibitRenderCache",
     "cache_key",
     "fame_run",
     "ClassAggregate",

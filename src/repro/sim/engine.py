@@ -3,9 +3,10 @@
 The whole experiment stack (sweeps, the figure/table drivers, the CLI)
 funnels every simulation through a :class:`SimEngine`.  An engine owns
 
-* a **backend** deciding *where* cells execute — :class:`SerialBackend`
-  runs them in-process, :class:`ProcessPoolBackend` fans independent
-  cells out over worker processes;
+* a **backend** deciding *where* cells execute — any executor from the
+  registry in :mod:`repro.sim.executors` (``serial``, ``process``,
+  ``thread``, or a :class:`~repro.sim.executors.ShardedExecutor` slice
+  of a campaign);
 * a **store** (:mod:`repro.sim.store`) deciding *whether* a cell needs
   executing at all — results are content-addressed by a stable hash of
   (workload, policy, config, spec, code-version salt), so an engine with
@@ -14,9 +15,16 @@ funnels every simulation through a :class:`SimEngine`.  An engine owns
 
 A cell (:class:`SweepCell`) is one (workload, policy, config, spec)
 combination.  Simulation is a pure, deterministic function of the cell
-— :func:`simulate_cell` regenerates the seeded traces and runs the
-processor — so serial and parallel execution produce bit-identical
-results and completion order never matters.
+— :func:`~repro.sim.executors.simulate_cell` regenerates the seeded
+traces and runs the processor — so serial and parallel execution produce
+bit-identical results and completion order never matters.
+
+Two engine entry points map onto the campaign dataflow
+(:mod:`repro.sim.manifest`): :meth:`SimEngine.run_cells` is the
+*assembly* path (every cell must resolve to a run; a sharded backend
+therefore fails it by design) and :meth:`SimEngine.execute_cells` is the
+*execute* path (fill the store with whatever slice of the batch this
+invocation owns, report counts, return no runs).
 
 A process-wide default engine (:func:`get_engine` / :func:`set_engine`)
 preserves the historical module-level memoization API: bare
@@ -27,15 +35,14 @@ in-memory store.
 from __future__ import annotations
 
 import dataclasses
-import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..config import SMTConfig, baseline
-from ..core.processor import SMTProcessor, SimResult
-from ..trace.generator import TraceKey, generate_trace, prime_traces
-from ..trace.trace import Trace
+from ..core.processor import SimResult
+from ..errors import IncompleteBatchError
 from ..trace.workloads import Workload
+from .executors import (ProcessPoolBackend, SerialBackend,  # noqa: F401
+                        ThreadPoolBackend, batch_traces, simulate_cell)
 from .runner import RunSpec, WorkloadRun, default_spec
 from .store import MemoryStore, ResultStore, cache_key
 
@@ -136,86 +143,6 @@ class RunIndex:
         return self[reference_cell(benchmark, config, spec)].result.ipcs[0]
 
 
-def simulate_cell(cell: SweepCell) -> SimResult:
-    """Simulate one cell from scratch (pure; runs in worker processes).
-
-    Trace generation is seeded by the spec, so any process computing the
-    same cell produces the same traces and therefore the same result.
-    """
-    traces = [generate_trace(name, cell.spec.trace_len, cell.spec.seed)
-              for name in cell.workload.benchmarks]
-    processor = SMTProcessor(cell.config, traces)
-    return processor.run(min_passes=cell.spec.min_passes,
-                         max_cycles=cell.spec.max_cycles)
-
-
-def batch_traces(cells) -> Dict[TraceKey, Trace]:
-    """Generate every distinct trace a batch of cells needs, once.
-
-    Returns a ``(benchmark, trace_len, seed) -> Trace`` mapping; the
-    in-process :func:`generate_trace` memo makes repeats free.  Campaign
-    backends ship this mapping to their workers (ROADMAP "batch trace
-    generation"): a worker then deserializes each trace once instead of
-    regenerating it per cell.
-    """
-    traces: Dict[TraceKey, Trace] = {}
-    for cell in cells:
-        for name in cell.workload.benchmarks:
-            key = (name, cell.spec.trace_len, cell.spec.seed)
-            if key not in traces:
-                traces[key] = generate_trace(*key)
-    return traces
-
-
-def _prime_worker(traces: Dict[TraceKey, Trace]) -> None:
-    """Pool initializer: install the batch's traces in this worker."""
-    prime_traces(traces)
-
-
-class SerialBackend:
-    """Execute cells one after another in this process."""
-
-    name = "serial"
-    jobs = 1
-
-    def run(self, items: Sequence[Tuple[str, SweepCell]],
-            on_result: Callable[[str, SimResult], None]) -> None:
-        for key, cell in items:
-            on_result(key, simulate_cell(cell))
-
-
-class ProcessPoolBackend:
-    """Fan independent cells out over a pool of worker processes.
-
-    Every distinct (benchmark, trace_len, seed) trace the batch needs is
-    generated exactly once in the coordinating process and shipped to
-    the workers through the pool initializer, so no worker spends time
-    in the trace generator (results are identical either way — traces
-    are a pure function of their key).
-    """
-
-    name = "process-pool"
-
-    def __init__(self, jobs: Optional[int] = None) -> None:
-        self.jobs = max(1, jobs if jobs is not None
-                        else (os.cpu_count() or 1))
-
-    def run(self, items: Sequence[Tuple[str, SweepCell]],
-            on_result: Callable[[str, SimResult], None]) -> None:
-        if self.jobs == 1 or len(items) <= 1:
-            SerialBackend().run(items, on_result)
-            return
-        workers = min(self.jobs, len(items))
-        traces = batch_traces(cell for _, cell in items)
-        with ProcessPoolExecutor(max_workers=workers,
-                                 initializer=_prime_worker,
-                                 initargs=(traces,)) as pool:
-            futures = {pool.submit(simulate_cell, cell): key
-                       for key, cell in items}
-            for future in as_completed(futures):
-                on_result(futures[future], future.result())
-
-
 @dataclasses.dataclass
 class EngineCounters:
     """How the engine satisfied its cells so far."""
@@ -233,6 +160,27 @@ class EngineCounters:
             store_hits=self.store_hits - earlier.store_hits,
             memo_hits=self.memo_hits - earlier.memo_hits,
         )
+
+
+@dataclasses.dataclass(frozen=True)
+class ExecutionReport:
+    """How one :meth:`SimEngine.execute_cells` invocation went.
+
+    ``planned`` counts the whole deduplicated batch; ``owned`` the cells
+    this invocation was responsible for after the backend's shard filter
+    (equal to ``planned`` for unsharded executors); ``cached`` of those
+    were already in the store and ``simulated`` were computed fresh.
+    """
+
+    planned: int
+    owned: int
+    cached: int
+    simulated: int
+
+    @property
+    def skipped(self) -> int:
+        """Cells other shards own (0 for unsharded executors)."""
+        return self.planned - self.owned
 
 
 class SimEngine:
@@ -341,7 +289,70 @@ class SimEngine:
         if waiting:
             items = [(key, waiting_cells[key]) for key in waiting]
             self.backend.run(items, _on_result)
+        if done != total:
+            raise IncompleteBatchError(
+                total - done, total,
+                hint="assembly needs every cell; a sharded executor "
+                     "computes only its slice — run each shard's "
+                     "execute stage first, then assemble with an "
+                     "unsharded backend against the shared store")
         return results  # type: ignore[return-value]
+
+    def execute_cells(self, cells: Sequence[SweepCell],
+                      progress: Optional[ProgressFn] = None
+                      ) -> "ExecutionReport":
+        """The *execute* stage: fill the store, return counts — no runs.
+
+        Deduplicates the batch, applies the backend's shard filter (an
+        executor exposing ``select`` — e.g.
+        :class:`~repro.sim.executors.ShardedExecutor` — owns only part
+        of a batch), simulates whichever owned cells the store does not
+        already hold, and reports how the batch was satisfied.  Progress
+        goes through the same single callback as :meth:`run_cells`:
+        ``(done, total, cached)`` over this invocation's *owned* cells,
+        however the backend executes them.
+        """
+        if progress is None:
+            progress = self.progress
+        elif progress is False:
+            progress = None
+        unique: Dict[str, SweepCell] = {}
+        for cell in cells:
+            unique.setdefault(cell.key(), cell)
+        items = list(unique.items())
+        select = getattr(self.backend, "select", None)
+        owned = list(select(items)) if select is not None else items
+        total = len(owned)
+        done = 0
+        pending = []
+        for key, cell in owned:
+            # Existence check only: this stage never consumes the
+            # results, so re-running a shard over a populated store
+            # costs a stat per cell, not a read+parse.
+            if key in self._memo or self.store.contains(key):
+                done += 1
+            else:
+                pending.append((key, cell))
+        cached = done
+        if progress:
+            progress(done, total, cached)
+
+        def _on_result(key: str, result: SimResult) -> None:
+            nonlocal done
+            self.counters.simulated += 1
+            self.store.put(key, result)
+            self._memo[key] = self._wrap(unique[key], result)
+            done += 1
+            if progress:
+                progress(done, total, cached)
+
+        if pending:
+            # `pending` is already shard-filtered; `select` is a pure
+            # function of the keys, so the backend re-applying it in
+            # run() selects the same subset.
+            self.backend.run(pending, _on_result)
+        return ExecutionReport(planned=len(items), owned=total,
+                               cached=cached, simulated=len(pending))
 
     def run_index(self, cells: Sequence[SweepCell],
                   progress: Optional[ProgressFn] = None) -> RunIndex:

@@ -54,6 +54,54 @@ from ..core.processor import SimResult
 #: cell produces; see the salt-bump policy in the module docstring.
 CODE_VERSION_SALT = "sim-engine-v2"
 
+#: Render-cache counterpart of ``CODE_VERSION_SALT``: participates in
+#: every exhibit render key (:func:`repro.sim.manifest.exhibit_render_key`).
+#: Bump it whenever *presentation* changes — a renderer, section layout,
+#: header or payload-shape change in ``experiments/`` — so cached
+#: exhibit renderings (which skip assembly entirely) can never serve an
+#: old look of a figure.  A change confined to one exhibit's ``assemble``
+#: can bump that exhibit's ``version`` attribute instead, invalidating
+#: only its own cache entries.  Simulation-semantics changes need no
+#: render bump: the cell keys inside the render key already carry
+#: ``CODE_VERSION_SALT``.
+EXHIBIT_RENDER_SALT = "exhibit-render-v1"
+
+#: Subdirectory of a ``--cache-dir`` holding the exhibit-render cache
+#: (kept out of :class:`DiskStore` scans: those entries are renderings,
+#: not simulation results).
+EXHIBIT_DIR = "exhibits"
+
+
+def atomic_write_json(path: str, payload, indent=None,
+                      trailing_newline: bool = False) -> None:
+    """Write JSON so readers never observe a torn file.
+
+    The payload lands in a same-directory temp file first and is moved
+    into place with ``os.replace`` — atomic on POSIX — so a concurrent
+    reader (another sharded executor on the same ``--cache-dir``) sees
+    either the complete old content, the complete new content, or no
+    file; never a partial JSON document.  A crash mid-write leaves only
+    a ``*.tmp`` orphan, which loaders and :meth:`DiskStore.entries`
+    ignore.  Raises ``OSError`` on failure after discarding the temp
+    file; callers decide whether persistence is best-effort.
+    """
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(dir=directory or ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True, indent=indent)
+            if trailing_newline:
+                handle.write("\n")
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
 
 def canonical_json(payload) -> str:
     """Deterministic JSON encoding (sorted keys, no whitespace)."""
@@ -94,6 +142,18 @@ class ResultStore:
         self.puts += 1
         self._save(key, result)
 
+    def contains(self, key: str) -> bool:
+        """Whether the store (probably) holds ``key`` — without loading.
+
+        The execute-only stage of a sharded campaign only needs to know
+        *that* a result exists, not what it is; subclasses answer from
+        metadata (an existence check) instead of parsing the payload.
+        A corrupt on-disk entry may answer ``True`` here and still miss
+        on :meth:`get` — the assembling invocation then re-simulates
+        that cell, so correctness never depends on this answer.
+        """
+        return self._load(key) is not None
+
     def clear(self) -> None:
         raise NotImplementedError
 
@@ -116,6 +176,9 @@ class MemoryStore(ResultStore):
 
     def clear(self) -> None:
         self._results.clear()
+
+    def contains(self, key: str) -> bool:
+        return key in self._results
 
     def _load(self, key: str) -> Optional[SimResult]:
         return self._results.get(key)
@@ -162,9 +225,24 @@ class DiskStore(ResultStore):
     def _path(self, key: str) -> str:
         return os.path.join(self.root, key[:2], key + ".json")
 
+    def contains(self, key: str) -> bool:
+        """Existence check only — no read, parse or memory-layer fill.
+
+        Keeps re-running a shard over a populated shared store at
+        ``os.stat`` cost per cell instead of loading every result.
+        """
+        return key in self._memory or os.path.exists(self._path(key))
+
+    def _walk(self):
+        """Walk the result entries, skipping the exhibit-render cache."""
+        for dirpath, dirnames, filenames in os.walk(self.root):
+            if dirpath == self.root and EXHIBIT_DIR in dirnames:
+                dirnames.remove(EXHIBIT_DIR)
+            yield dirpath, dirnames, filenames
+
     def __len__(self) -> int:
         count = 0
-        for _dirpath, _dirnames, filenames in os.walk(self.root):
+        for _dirpath, _dirnames, filenames in self._walk():
             count += sum(1 for name in filenames if name.endswith(".json"))
         return count
 
@@ -194,7 +272,7 @@ class DiskStore(ResultStore):
         need file metadata (age-based pruning) pass ``need_salt=False``
         to keep the scan at ``os.stat`` cost.
         """
-        for dirpath, _dirnames, filenames in os.walk(self.root):
+        for dirpath, _dirnames, filenames in self._walk():
             for filename in filenames:
                 if not filename.endswith(".json"):
                     continue
@@ -293,21 +371,71 @@ class DiskStore(ResultStore):
         # Persisting is best-effort: the result is already in hand (and
         # in the memory layer), so a full disk or read-only cache must
         # not abort a campaign — it just forfeits reuse of this entry.
+        # The atomic temp-file + os.replace protocol is what lets N
+        # sharded executors share one cache directory: a reader can
+        # never observe a torn entry, only a hit or a miss.
         self._memory[key] = result
-        path = self._path(key)
         payload = {"key": key, "salt": CODE_VERSION_SALT,
                    "result": result.to_dict()}
-        tmp_path = None
         try:
-            os.makedirs(os.path.dirname(path), exist_ok=True)
-            fd, tmp_path = tempfile.mkstemp(dir=os.path.dirname(path),
-                                            suffix=".tmp")
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, sort_keys=True)
-            os.replace(tmp_path, path)
+            atomic_write_json(self._path(key), payload)
         except OSError:
-            if tmp_path is not None:
-                try:
-                    os.unlink(tmp_path)
-                except OSError:
-                    pass
+            pass
+
+
+class ExhibitRenderCache:
+    """Persisted exhibit renderings, keyed by planned-cell-set hash.
+
+    Entries live beside (not inside) a :class:`DiskStore`'s result
+    fan-out, under ``root/``.  Each holds one
+    ``ExhibitResult.to_dict()`` payload keyed by
+    :func:`repro.sim.manifest.exhibit_render_key` — a sha256 of the
+    exhibit's planned cell-key set, its ``version``, the assembly
+    context and ``EXHIBIT_RENDER_SALT`` — so a hit proves the exhibit
+    would assemble to exactly this document and ``repro all`` can skip
+    untouched figures without reading a single run.  Writes use the same
+    atomic protocol as the result store; unreadable entries are misses.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        os.makedirs(self.root, exist_ok=True)
+
+    def _path(self, render_key: str) -> str:
+        return os.path.join(self.root, render_key + ".json")
+
+    def __len__(self) -> int:
+        try:
+            return sum(1 for name in os.listdir(self.root)
+                       if name.endswith(".json"))
+        except OSError:
+            return 0
+
+    def get(self, render_key: str) -> Optional[Dict]:
+        """The cached ``ExhibitResult.to_dict()`` payload, or ``None``."""
+        try:
+            with open(self._path(render_key), "r",
+                      encoding="utf-8") as handle:
+                payload = json.load(handle)
+            document = payload["result"]
+            if not isinstance(document, dict):
+                raise ValueError("malformed cache entry")
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return document
+
+    def put(self, render_key: str, document: Dict) -> None:
+        """Persist one rendering (best-effort, atomic)."""
+        self.puts += 1
+        payload = {"render_key": render_key,
+                   "salt": EXHIBIT_RENDER_SALT,
+                   "result": document}
+        try:
+            atomic_write_json(self._path(render_key), payload)
+        except OSError:
+            pass

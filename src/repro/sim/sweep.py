@@ -6,8 +6,10 @@ Sweeps are split into the same two pure phases as the exhibit API:
 fairness metric needs — and :func:`assemble_policy_sweep` folds the
 memoized runs of exactly those cells into a :class:`PolicySweep`.
 :func:`sweep_policies` glues the phases together through an engine for
-direct callers; campaign-level callers plan first, batch across
-exhibits, and assemble later.
+direct callers; campaign-level callers plan first (the planned cells
+become :class:`~repro.sim.manifest.CampaignManifest` entries, batched
+and deduplicated across exhibits), execute anywhere — any executor,
+any shard — and assemble later from the shared store.
 """
 
 from __future__ import annotations

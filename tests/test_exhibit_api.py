@@ -300,3 +300,72 @@ class TestCLIFormats:
         assert main(["figure1", "--format", "csv"] + self.ARGS) == 0
         out = capsys.readouterr().out
         assert "Policy,MEM2" in out
+
+
+class TestRenderCache:
+    """ISSUE 5: incremental exhibit regeneration via the render cache."""
+
+    def test_second_regenerate_zero_renders_zero_simulations(
+            self, tmp_path):
+        from repro.sim.store import ExhibitRenderCache
+
+        cache = ExhibitRenderCache(str(tmp_path / "exhibits"))
+        store = DiskStore(str(tmp_path / "cache"))
+        first = Campaign(["figure1", "figure3"], ctx=TINY_CTX,
+                         engine=SimEngine(store=store))
+        results, report = first.regenerate(cache=cache)
+        assert set(report.assembled) == {"figure1", "figure3"}
+        assert report.from_cache == ()
+        assert report.cells_executed > 0
+
+        second = Campaign(["figure1", "figure3"], ctx=TINY_CTX,
+                          engine=SimEngine(store=DiskStore(
+                              str(tmp_path / "cache"))))
+        again, report2 = second.regenerate(cache=cache)
+        assert report2.assembled == ()
+        assert set(report2.from_cache) == {"figure1", "figure3"}
+        assert report2.cells_executed == 0
+        assert second.engine.counters.simulated == 0
+        assert second.engine.counters.store_hits == 0  # no run read
+        for name in ("figure1", "figure3"):
+            for fmt in ("text", "json", "csv"):
+                assert again[name].render(fmt) == \
+                    results[name].render(fmt), f"{name}/{fmt}"
+
+    def test_partial_cache_executes_only_missing_exhibits(
+            self, tmp_path):
+        from repro.sim.store import ExhibitRenderCache
+
+        cache = ExhibitRenderCache(str(tmp_path / "exhibits"))
+        store_dir = str(tmp_path / "cache")
+        seed = Campaign(["figure1"], ctx=TINY_CTX,
+                        engine=SimEngine(store=DiskStore(store_dir)))
+        seed.regenerate(cache=cache)
+
+        both = Campaign(["figure1", "figure2"], ctx=TINY_CTX,
+                        engine=SimEngine(store=DiskStore(store_dir)))
+        _results, report = both.regenerate(cache=cache)
+        assert report.from_cache == ("figure1",)
+        assert report.assembled == ("figure2",)
+        # Only figure2's planned cells were in the batch.
+        manifest = both.plan()
+        assert report.cells_executed == \
+            len(manifest.exhibit_plan("figure2").cell_keys)
+
+    def test_no_cache_always_assembles(self):
+        campaign = Campaign(["figure1"], ctx=TINY_CTX,
+                            engine=SimEngine())
+        _results, report = campaign.regenerate(cache=None)
+        assert report.assembled == ("figure1",)
+
+    def test_result_from_dict_renders_identically(self):
+        from repro.experiments import ExhibitResult
+
+        result = get_exhibit("figure1").run(spec=TINY, classes=("MEM2",),
+                                            workloads_per_class=1,
+                                            engine=SimEngine())
+        clone = ExhibitResult.from_dict(
+            json.loads(json.dumps(result.to_dict())))
+        for fmt in ("text", "json", "csv"):
+            assert clone.render(fmt) == result.render(fmt)
+        assert clone.data == {}  # rich values are not serialized

@@ -1,0 +1,102 @@
+"""Shard-merge bit-identity: the ISSUE 5 acceptance criterion.
+
+The full ``repro all`` campaign run as one serial process and as the
+union of 3 ``--shard`` executors over a shared store must render every
+exhibit byte-identically; a second assembly pass must perform zero
+simulations and zero re-renders (exhibit render cache hits all the way).
+"""
+
+import io
+import sys
+
+import pytest
+
+from repro.cli import main
+
+BASE = ["--trace-len", "200", "--seed", "3",
+        "--workloads-per-class", "1", "--classes", "MEM2",
+        "--no-progress", "--format", "json"]
+
+EXHIBITS = ("figure1", "figure2", "figure3", "figure4", "figure5",
+            "figure6", "table1", "table2")
+
+
+def run_cli(argv):
+    """Run the CLI capturing its stderr status stream."""
+    captured = io.StringIO()
+    original = sys.stderr
+    sys.stderr = captured
+    try:
+        assert main(argv) == 0
+    finally:
+        sys.stderr = original
+    return captured.getvalue()
+
+
+@pytest.fixture(scope="module")
+def flow(tmp_path_factory):
+    """Serial reference, 3-shard execute, assembly, second assembly."""
+    root = tmp_path_factory.mktemp("shard-identity")
+    cache = str(root / "cache")
+    dirs = {name: str(root / name)
+            for name in ("serial", "union", "second")}
+    stderr = {}
+    stderr["serial"] = run_cli(
+        ["all", *BASE, "--output", dirs["serial"]])
+    for k in (1, 2, 3):
+        stderr[f"shard{k}"] = run_cli(
+            ["all", *BASE, "--shard", f"{k}/3", "--cache-dir", cache])
+    stderr["union"] = run_cli(
+        ["all", *BASE, "--cache-dir", cache, "--output", dirs["union"]])
+    stderr["second"] = run_cli(
+        ["all", *BASE, "--cache-dir", cache, "--output", dirs["second"]])
+    return {"dirs": dirs, "stderr": stderr}
+
+
+def read(directory, exhibit):
+    with open(f"{directory}/{exhibit}.json", "rb") as handle:
+        return handle.read()
+
+
+class TestShardMergeBitIdentity:
+    def test_every_exhibit_byte_identical(self, flow):
+        for exhibit in EXHIBITS:
+            serial = read(flow["dirs"]["serial"], exhibit)
+            union = read(flow["dirs"]["union"], exhibit)
+            assert serial == union, f"{exhibit} differs after shard merge"
+            assert serial  # non-trivial documents
+
+    def test_shards_cover_the_campaign_disjointly(self, flow):
+        owned = []
+        for k in (1, 2, 3):
+            text = flow["stderr"][f"shard{k}"]
+            assert f"shard {k}/3" in text
+            # "executed N of M cells" — N varies per shard, M is fixed.
+            executed = text.split("executed ", 1)[1]
+            owned.append(int(executed.split(" ", 1)[0]))
+            total = int(executed.split("of ", 1)[1].split(" ", 1)[0])
+            assert "simulated=" in text
+        assert sum(owned) == total
+        assert all(count > 0 for count in owned)  # a real 3-way split
+
+    def test_assembly_simulates_nothing(self, flow):
+        # Every cell came from the shared store the shards filled.
+        assert "simulated=0," in flow["stderr"]["union"]
+        assert "8 assembled, 0 from render cache" in \
+            flow["stderr"]["union"]
+
+    def test_second_pass_zero_simulations_zero_rerenders(self, flow):
+        text = flow["stderr"]["second"]
+        assert "simulated=0," in text
+        assert "cache_hits=0," in text        # no run was even read
+        assert "0 assembled, 8 from render cache" in text
+
+    def test_second_pass_output_still_byte_identical(self, flow):
+        for exhibit in EXHIBITS:
+            assert read(flow["dirs"]["serial"], exhibit) == \
+                read(flow["dirs"]["second"], exhibit), \
+                f"{exhibit} render-cache round trip changed bytes"
+
+    def test_shard_requires_cache_dir(self, capsys):
+        assert main(["all", *BASE, "--shard", "1/3"]) == 2
+        assert "--cache-dir" in capsys.readouterr().err
