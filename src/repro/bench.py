@@ -146,12 +146,17 @@ def time_cell(cell: BenchCell, cycle_skip: bool = True,
         result = processor.run(min_passes=cell.min_passes)
         best = min(best, time.perf_counter() - started)
         pipeline = processor.pipeline
+    gstats = pipeline.gstats
     return {
         "seconds": best,
         "cycles": result.cycles,
         "committed": result.total_committed,
         "skipped_cycles": pipeline.skipped_cycles,
         "skip_jumps": pipeline.skip_jumps,
+        "macro_steps": gstats.macro_steps,
+        "macro_insts": gstats.macro_insts,
+        "macro_guard_aborts": gstats.macro_guard_aborts,
+        "macro_abort_causes": dict(gstats.macro_abort_causes),
     }
 
 
@@ -209,6 +214,12 @@ def run_bench(quick: bool = False, repeats: int = 3,
                               if cycles > 0 else 0.0),
             "sim_cycles_per_second": (cycles / seconds
                                       if seconds > 0 else 0.0),
+            # Macro-step speculation accounting (zeros under
+            # REPRO_SPECULATE=off or policies without the opt-in hook).
+            "macro_steps": timed["macro_steps"],
+            "macro_insts": timed["macro_insts"],
+            "macro_guard_aborts": timed["macro_guard_aborts"],
+            "macro_abort_causes": timed["macro_abort_causes"],
         }
         if measure_noskip:
             reference = time_cell(cell, cycle_skip=False, repeats=repeats)
@@ -219,6 +230,10 @@ def run_bench(quick: bool = False, repeats: int = 3,
         if progress is not None:
             note = (f"  {cell.id}: {entry['seconds']:.3f}s "
                     f"({entry['skip_fraction']:.0%} cycles skipped")
+            if entry["macro_steps"]:
+                note += (f", {entry['macro_insts']} insts in "
+                         f"{entry['macro_steps']} macro-steps, "
+                         f"{entry['macro_guard_aborts']} guard aborts")
             if measure_noskip:
                 note += f", {entry['speedup_vs_noskip']:.2f}x vs no-skip"
             progress(note + ")")
@@ -232,14 +247,21 @@ def render_report(report: Dict) -> str:
              f"calibration {report['calibration_seconds'] * 1e3:.1f} ms, "
              f"best of {report['repeats']})",
              f"{'cell':14s} {'policy':7s} {'thr':>3s} {'seconds':>8s} "
-             f"{'Mcyc/s':>7s} {'skipped':>8s} {'vs-noskip':>9s}"]
+             f"{'Mcyc/s':>7s} {'skipped':>8s} {'macro':>7s} {'aborts':>7s} "
+             f"{'vs-noskip':>9s}"]
     for cell_id, entry in report["cells"].items():
         speedup = entry.get("speedup_vs_noskip")
+        # Reports predating the speculation layer lack the macro columns.
+        macro_insts = entry.get("macro_insts")
+        aborts = entry.get("macro_guard_aborts")
         lines.append(
             f"{cell_id:14s} {entry['policy']:7s} {entry['threads']:3d} "
             f"{entry['seconds']:8.3f} "
             f"{entry['sim_cycles_per_second'] / 1e6:7.2f} "
             f"{entry['skip_fraction']:8.0%} "
+            + (f"{macro_insts:7d} " if macro_insts is not None
+               else f"{'-':>7s} ")
+            + (f"{aborts:7d} " if aborts is not None else f"{'-':>7s} ")
             + (f"{speedup:8.2f}x" if speedup is not None else
                f"{'-':>9s}"))
     return "\n".join(lines)
@@ -277,10 +299,29 @@ def check_report(report: Dict, reference: Dict,
 
 
 def compare_summary(report: Dict, reference: Dict) -> List[str]:
-    """Per-cell speedup lines against a reference report."""
+    """Per-cell speedup lines against a reference report.
+
+    Only the intersection of the two cell sets is diffed: a reference
+    recorded before a cell was added to the matrix (or a --quick report
+    diffed against a full one) yields a warning line per side, never a
+    lookup error.
+    """
     lines = []
+    ref_cells = reference.get("cells", {})
+    missing_ref = [cell_id for cell_id in report["cells"]
+                   if cell_id not in ref_cells]
+    missing_here = [cell_id for cell_id in ref_cells
+                    if cell_id not in report["cells"]]
+    if missing_ref:
+        lines.append(f"  [compare] {len(missing_ref)} cell(s) absent "
+                     f"from the reference, skipped: "
+                     f"{', '.join(sorted(missing_ref))}")
+    if missing_here:
+        lines.append(f"  [compare] {len(missing_here)} reference cell(s) "
+                     f"not in this run, skipped: "
+                     f"{', '.join(sorted(missing_here))}")
     for cell_id, entry in report["cells"].items():
-        ref = reference.get("cells", {}).get(cell_id)
+        ref = ref_cells.get(cell_id)
         if ref is None or "normalized" not in ref:
             continue
         if entry["normalized"] <= 0:

@@ -51,7 +51,7 @@ import sys
 import time
 from typing import List, Optional
 
-from .config import baseline
+from .config import SPECULATE_ENV_VAR, baseline
 from .errors import ManifestError
 from .experiments import Campaign, ExhibitContext, exhibit_names
 from .experiments.common import RENDER_FORMATS
@@ -147,7 +147,33 @@ def build_parser() -> argparse.ArgumentParser:
                              "DIR/<exhibit>.<ext> in the chosen format")
     parser.add_argument("--no-progress", action="store_true",
                         help="suppress per-cell progress output")
+    _add_speculate_argument(parser)
     return parser
+
+
+def _add_speculate_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--speculate", choices=("on", "off", "auto"),
+                        default=None,
+                        help="macro-step speculation over the dispatch "
+                             "hot loop: 'auto' (default; on, with a "
+                             "conservative veto for policies without "
+                             "the macro_step_ok opt-in), 'on' (trust "
+                             "the bit-identity contract even for opaque "
+                             "policies), 'off' (per-stage path only). "
+                             "Sets REPRO_SPECULATE for this invocation, "
+                             "workers included; results are "
+                             "bit-identical in every mode")
+
+
+def _apply_speculate(args: argparse.Namespace) -> None:
+    """Propagate --speculate through the environment knob.
+
+    The switch is an env var rather than an SMTConfig field (see
+    :func:`repro.config.speculation_mode`), so exporting it here covers
+    the in-process engine and every spawned --jobs worker alike.
+    """
+    if getattr(args, "speculate", None):
+        os.environ[SPECULATE_ENV_VAR] = args.speculate
 
 
 def make_spec(args: argparse.Namespace) -> RunSpec:
@@ -338,12 +364,14 @@ def build_bench_parser() -> argparse.ArgumentParser:
     parser.add_argument("--compare", default=None, metavar="REPORT",
                         help="also print per-cell speedups against "
                              "another report (informational)")
+    _add_speculate_argument(parser)
     return parser
 
 
 def bench_main(argv: List[str]) -> int:
     from . import bench
     args = build_bench_parser().parse_args(argv)
+    _apply_speculate(args)
     print(f"[bench] timing {len(bench.bench_cells(args.quick))} cells "
           f"(repeats={args.repeats}"
           f"{', quick' if args.quick else ''})", file=sys.stderr)
@@ -406,29 +434,50 @@ def cache_main(argv: List[str]) -> int:
               f"{args.cache_dir}", file=sys.stderr)
         return 2
     store = DiskStore(args.cache_dir)
+    # The exhibit-render pool lives beside the result fan-out; operate
+    # on it only when it exists so stats/prune never create it.
+    exhibit_root = os.path.join(args.cache_dir, EXHIBIT_DIR)
+    render_cache = (ExhibitRenderCache(exhibit_root)
+                    if os.path.isdir(exhibit_root) else None)
     if args.action == "stats":
-        stats = store.stats()
-        print(f"cache {stats['root']}: {stats['entries']} entries, "
-              f"{stats['bytes'] / 1024:.1f} KiB "
-              f"(current salt: {stats['current_salt']})")
-        for salt in sorted(stats["by_salt"]):
-            bucket = stats["by_salt"][salt]
-            marker = " (current)" if salt == stats["current_salt"] else ""
-            print(f"  {salt}{marker}: {bucket['entries']} entries, "
-                  f"{bucket['bytes'] / 1024:.1f} KiB")
+        for label, pool in (("cache", store), ("render cache",
+                                               render_cache)):
+            if pool is None:
+                continue
+            stats = pool.stats()
+            print(f"{label} {stats['root']}: {stats['entries']} entries, "
+                  f"{stats['bytes'] / 1024:.1f} KiB "
+                  f"(current salt: {stats['current_salt']})")
+            for salt in sorted(stats["by_salt"]):
+                bucket = stats["by_salt"][salt]
+                marker = (" (current)"
+                          if salt == stats["current_salt"] else "")
+                print(f"  {salt}{marker}: {bucket['entries']} entries, "
+                      f"{bucket['bytes'] / 1024:.1f} KiB")
+        if render_cache is None:
+            print("render cache: none")
         return 0
     if not args.stale_salts and args.older_than_days is None:
         print("repro-smt cache prune: nothing to do — pass "
               "--stale-salts and/or --older-than-days DAYS",
               file=sys.stderr)
         return 2
+    verb = "would remove" if args.dry_run else "removed"
     outcome = store.prune(stale_salts=args.stale_salts,
                           older_than_days=args.older_than_days,
                           dry_run=args.dry_run)
-    verb = "would remove" if args.dry_run else "removed"
     print(f"prune: {verb} {outcome.removed} of {outcome.examined} "
           f"entries ({outcome.bytes_freed / 1024:.1f} KiB), "
           f"kept {outcome.kept}")
+    if render_cache is not None:
+        rendered = render_cache.prune(
+            stale_salts=args.stale_salts,
+            older_than_days=args.older_than_days,
+            dry_run=args.dry_run)
+        print(f"prune (render cache): {verb} {rendered.removed} of "
+              f"{rendered.examined} entries "
+              f"({rendered.bytes_freed / 1024:.1f} KiB), "
+              f"kept {rendered.kept}")
     return 0
 
 
@@ -442,6 +491,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if argv and argv[0] in SUBCOMMANDS:
         return SUBCOMMANDS[argv[0]](argv[1:])
     args = build_parser().parse_args(argv)
+    _apply_speculate(args)
     if args.shard is not None and not args.cache_dir:
         print("repro-smt: error: --shard needs a shared --cache-dir — "
               "a shard's results are only useful in a store the "

@@ -25,9 +25,43 @@ mechanism and its ablations (paper §6), and measurement parameters.
 from __future__ import annotations
 
 import dataclasses
+import os
 from typing import Dict, Tuple
 
 from .errors import ConfigError
+
+#: Environment switch for the macro-step speculation layer (the guarded
+#: software-JIT fast path over the dispatch hot loop; see
+#: :mod:`repro.core.pipeline`).  Values: ``on`` / ``off`` / ``auto``.
+SPECULATE_ENV_VAR = "REPRO_SPECULATE"
+
+_SPECULATE_MODES = ("on", "off", "auto")
+
+
+def speculation_mode() -> str:
+    """Resolve the macro-step speculation switch: ``on|off|auto``.
+
+    * ``off`` — the layer is disabled; every instruction takes the
+      per-stage path (the CI fallback leg pins this).
+    * ``auto`` (default) — enabled, except for *opaque* policies (ones
+      that override per-cycle/event accounting without declaring the
+      :meth:`~repro.policies.base.FetchPolicy.macro_step_ok` contract),
+      which get a conservative veto.
+    * ``on`` — enabled even for opaque policies (the fused path is
+      bit-identical by construction; this trusts that over the opt-in).
+
+    Deliberately an environment knob rather than an :class:`SMTConfig`
+    field: the frozen config's ``to_dict`` is the canonical cache-key
+    encoding, and a new field would re-key every cached cell for a
+    switch that — by the bit-identity contract — cannot change any
+    result.  No cache salt bump is needed for the same reason.
+    """
+    value = os.environ.get(SPECULATE_ENV_VAR, "auto").strip().lower()
+    if value not in _SPECULATE_MODES:
+        raise ConfigError(
+            f"{SPECULATE_ENV_VAR} must be one of {_SPECULATE_MODES}, "
+            f"got {value!r}")
+    return value
 
 #: Paper §5.1/§5.2 evaluate ICOUNT with 2 threads fetching up to 8
 #: instructions per cycle (the classic ICOUNT.2.8 configuration).

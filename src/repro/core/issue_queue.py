@@ -94,12 +94,19 @@ class IssueQueue:
         loads shed their deferred status — the issue stage is about to
         attempt them again, and re-defers via :meth:`requeue` on failure.
         """
-        if not self._ready:
+        ready = self._ready
+        if not ready:
             return []
-        live = [inst for inst in self._ready
-                if inst.state == _READY]
-        if len(live) != len(self._ready):
-            self._ready = live
+        # Clean scan first: the common case has no stale entries, and the
+        # scan avoids the filtering list allocation (this runs for every
+        # non-empty queue every stepped cycle).
+        for inst in ready:
+            if inst.state != _READY:
+                live = [inst for inst in ready if inst.state == _READY]
+                self._ready = live
+                break
+        else:
+            live = ready
         if not live:
             return []
         if len(live) > limit:

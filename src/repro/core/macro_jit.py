@@ -1,0 +1,252 @@
+"""Macro-step handler compilation: the "software JIT" of the speculation
+layer.
+
+A :class:`~repro.core.thread.MacroPlan` that keeps passing the dispatch
+entry guards is *hot*: the same linear run of trace rows is renamed and
+dispatched over and over with the same structural shape (same queue
+targets, same register classes, same fold topology).  This module turns
+such a plan into a specialized Python function with the whole run
+unrolled and every per-position constant baked into the bytecode — no
+plan-table subscripts, no ``NO_REG`` tests, no register-class branches,
+no loop bookkeeping.  Positions without sources skip operand renaming
+entirely; positions without a destination skip allocation; the
+batched-counter tail uses literal increments.
+
+Two variants exist per plan, selected by the caller *after* its guards
+pass (see :meth:`SMTPipeline._macro_dispatch
+<repro.core.pipeline.SMTPipeline._macro_dispatch>`):
+
+``runahead=False``
+    Every position dispatches normally.
+``runahead=True``
+    FP positions are emitted as §3.3 decode-drops (ROB slot only,
+    result INV).  Only used when the thread is in runahead mode with FP
+    invalidation enabled — the same condition under which the generic
+    fused loop selects ``runahead_demand``.
+
+Correctness contract: the emitted body is a statement-for-statement
+transcription of ``SMTPipeline._dispatch`` (and of the generic fused
+loop) with constants folded — it must leave bit-identical machine state.
+Handlers bake no machine-configuration values (register-file sizes,
+queue capacities are read through the pipeline argument), so a compiled
+plan may be shared by every pipeline running its trace at the same
+width; pipeline-specific objects all arrive via the call arguments.
+
+Compilation costs ~1 ms per handler, so plans only compile after
+:data:`JIT_THRESHOLD` full-length guarded executions — cold plans (and
+truncated runs) keep using the generic fused loop, exactly like a
+tracing JIT's interpreter tier.
+"""
+
+from __future__ import annotations
+
+from .dyninst import InstState
+from .regfile import NEVER
+from ..isa import NUM_INT_ARCH_REGS
+
+#: Full-length guarded executions of a plan variant before it is
+#: compiled.  Sized from the compile economics, not from eagerness:
+#: ``compile()`` of an unrolled handler costs ~2 ms while one execution
+#: saves single-digit microseconds over the generic fused tier, so a
+#: handler needs hundreds of executions to amortize.  FAME measurement
+#: loops traces for thousands of passes, crossing this quickly on any
+#: real run; short CI benches and fuzz tests stay in the generic tier
+#: (tests force compilation by patching the pipeline's imported copy).
+JIT_THRESHOLD = 512
+
+_NINT = NUM_INT_ARCH_REGS
+
+
+def _emit_source(plan, runahead: bool) -> str:
+    """Generate the specialized handler source for one plan variant."""
+    length = plan.length
+    drops = tuple(runahead and plan.is_fp[i] for i in range(length))
+    live = tuple(i for i in range(length) if not drops[i])
+
+    used_queues = sorted({plan.queues[i] for i in live})
+    int_src = any(0 <= s < _NINT for i in live
+                  for s in (plan.src1[i], plan.src2[i]))
+    fp_src = any(s >= _NINT for i in live
+                 for s in (plan.src1[i], plan.src2[i]))
+    int_dest = sum(1 for i in live
+                   if plan.dest[i] >= 0 and plan.dest_klass[i] == 0)
+    fp_dest = sum(1 for i in live
+                  if plan.dest[i] >= 0 and plan.dest_klass[i] == 1)
+    any_fold = any(plan.src1[i] >= 0 or plan.src2[i] >= 0 for i in live)
+    any_drop = any(drops)
+    need_arch_inv = (any_fold or int_dest or fp_dest
+                     or any(drops[i] and plan.dest[i] >= 0
+                            for i in range(length)))
+
+    defaults = []
+    if live:
+        defaults.append("DISPATCHED=DISPATCHED")
+        defaults.append("READY=READY")
+    if int_dest or fp_dest:
+        defaults.append("NEVER=NEVER")
+    if any_drop:
+        defaults.append("COMPLETED=COMPLETED")
+    signature = ", ".join(
+        ["pipeline", "thread", "fetch_queue", "now"] + defaults)
+
+    out = [f"def _handler({signature}):"]
+    emit = out.append
+
+    # --- hoists (only what the unrolled body references) ---
+    emit("    popleft = fetch_queue.popleft")
+    emit("    rob = pipeline.rob")
+    emit("    tid = thread.tid")
+    emit("    rob_queue = rob._queues[tid]")
+    emit("    stats = thread.stats")
+    if need_arch_inv:
+        emit("    arch_inv = thread.arch_inv")
+    if int_src or int_dest:
+        emit("    front0 = thread.rename.front[0]")
+        emit("    int_file = pipeline.int_file")
+        emit("    int_ready = int_file.ready")
+        emit("    int_inv = int_file.inv")
+    if int_src:
+        emit("    int_waiters = int_file.waiters")
+    if int_dest:
+        emit("    int_free = int_file._free")
+        emit("    int_alloc = int_file._allocated")
+        emit("    int_pinned = int_file.pinned")
+        emit("    int_size = int_file.size")
+    if fp_src or fp_dest:
+        emit("    front1 = thread.rename.front[1]")
+        emit("    fp_file = pipeline.fp_file")
+        emit("    fp_ready = fp_file.ready")
+        emit("    fp_inv = fp_file.inv")
+    if fp_src:
+        emit("    fp_waiters = fp_file.waiters")
+    if fp_dest:
+        emit("    fp_free = fp_file._free")
+        emit("    fp_alloc = fp_file._allocated")
+        emit("    fp_pinned = fp_file.pinned")
+        emit("    fp_size = fp_file.size")
+    for q in used_queues:
+        emit(f"    q{q} = pipeline.queues[{q}]")
+        emit(f"    q{q}_pt = q{q}.per_thread")
+        emit(f"    q{q}_ready = q{q}._ready")
+    if any_fold:
+        emit("    fold = pipeline._fold")
+
+    for i in range(length):
+        emit(f"    # position {i}: trace row {plan.start + i}")
+        emit("    inst = popleft()")
+        emit("    rob_queue.append(inst)")
+        if drops[i]:
+            # §3.3 decode-drop, mirroring _dispatch's drop branch.
+            emit("    inst.state = COMPLETED")
+            emit("    inst.invalid = True")
+            emit("    inst.complete_cycle = now")
+            emit("    if inst.counted:")
+            emit("        inst.counted = False")
+            emit("        thread.icount -= 1")
+            if plan.dest[i] >= 0:
+                emit(f"    arch_inv[{plan.dest[i]}] = True")
+            emit("    stats.folded += 1")
+            continue
+        emit("    inst.state = DISPATCHED")
+        s1 = plan.src1[i]
+        s2 = plan.src2[i]
+        has_src = s1 >= 0 or s2 >= 0
+        if has_src:
+            emit("    pending = 0")
+            emit("    mask = 0")
+        if s1 >= 0:
+            if s1 < _NINT:
+                pfx, fmap, aidx = "int", "front0", s1
+            else:
+                pfx, fmap, aidx = "fp", "front1", s1 - _NINT
+            emit(f"    if arch_inv[{s1}]:")
+            emit("        mask = 1")
+            emit("    else:")
+            emit(f"        preg = {fmap}[{aidx}]")
+            emit("        inst.psrc1 = preg")
+            emit(f"        if {pfx}_ready[preg] <= now:")
+            emit(f"            if {pfx}_inv[preg]:")
+            emit("                mask = 1")
+            emit("        else:")
+            emit(f"            {pfx}_waiters[preg].append(inst)")
+            emit("            pending = 1")
+        if s2 >= 0:
+            if s2 < _NINT:
+                pfx, fmap, aidx = "int", "front0", s2
+            else:
+                pfx, fmap, aidx = "fp", "front1", s2 - _NINT
+            emit(f"    if arch_inv[{s2}]:")
+            emit("        mask |= 2")
+            emit("    else:")
+            emit(f"        preg = {fmap}[{aidx}]")
+            emit("        inst.psrc2 = preg")
+            emit(f"        if {pfx}_ready[preg] <= now:")
+            emit(f"            if {pfx}_inv[preg]:")
+            emit("                mask |= 2")
+            emit("        else:")
+            emit(f"            {pfx}_waiters[preg].append(inst)")
+            emit("            pending += 1")
+        if has_src:
+            emit("    inst.pending_srcs = pending")
+            emit("    inst.src_inv_mask = mask")
+        dest = plan.dest[i]
+        if dest >= 0:
+            if plan.dest_klass[i] == 0:
+                pfx, fmap, aidx = "int", "front0", plan.dest_aidx[i]
+            else:
+                pfx, fmap, aidx = "fp", "front1", plan.dest_aidx[i]
+            emit(f"    preg = {pfx}_free.pop()")
+            emit(f"    {pfx}_alloc[preg] = True")
+            emit(f"    {pfx}_ready[preg] = NEVER")
+            emit(f"    {pfx}_inv[preg] = False")
+            emit(f"    {pfx}_pinned[preg] = False")
+            emit(f"    used = {pfx}_size - len({pfx}_free)")
+            emit(f"    if used > {pfx}_file.high_water:")
+            emit(f"        {pfx}_file.high_water = used")
+            emit("    inst.pdest = preg")
+            emit(f"    inst.old_pdest = {fmap}[{aidx}]")
+            emit(f"    {fmap}[{aidx}] = preg")
+            emit(f"    arch_inv[{dest}] = False")
+        q = plan.queues[i]
+        emit(f"    q{q}.size += 1")
+        emit(f"    q{q}_pt[tid] += 1")
+        emit("    inst.in_iq = True")
+        if has_src:
+            fold_test = "mask & 1" if plan.is_store[i] else "mask"
+            emit("    if pending == 0:")
+            emit(f"        if {fold_test}:")
+            emit("            fold(inst, now)")
+            emit("        else:")
+            emit("            inst.state = READY")
+            emit(f"            q{q}_ready.append(inst)")
+        else:
+            emit("    inst.state = READY")
+            emit(f"    q{q}_ready.append(inst)")
+
+    emit("    # batched monotone counters (see _macro_dispatch)")
+    emit(f"    rob._occupancy += {length}")
+    emit(f"    rob.per_thread[tid] += {length}")
+    emit(f"    thread.rob_held += {length}")
+    emit(f"    stats.dispatched += {length}")
+    if int_dest:
+        emit(f"    thread.regs_held[0] += {int_dest}")
+    if fp_dest:
+        emit(f"    thread.regs_held[1] += {fp_dest}")
+    emit("    gstats = pipeline.gstats")
+    emit("    gstats.macro_steps += 1")
+    emit(f"    gstats.macro_insts += {length}")
+    emit(f"    return {length}")
+    return "\n".join(out)
+
+
+def compile_macro_handler(plan, runahead: bool):
+    """Compile one plan variant into its specialized handler function."""
+    source = _emit_source(plan, runahead)
+    namespace = {
+        "DISPATCHED": InstState.DISPATCHED,
+        "READY": InstState.READY,
+        "COMPLETED": InstState.COMPLETED,
+        "NEVER": NEVER,
+    }
+    exec(compile(source, "<macro-jit>", "exec"), namespace)
+    return namespace["_handler"]

@@ -17,7 +17,7 @@ from heapq import heappop, heappush
 from typing import Dict, List, Optional, Tuple
 
 from ..branch import BranchTargetBuffer, PerceptronPredictor
-from ..config import SMTConfig
+from ..config import SMTConfig, speculation_mode
 from ..errors import DeadlockError, SimulationError
 from ..isa import (
     IS_FP_BY_CODE,
@@ -40,7 +40,9 @@ from .rename import RenameState
 from .rob import SharedROB
 from .runahead import RunaheadController
 from .stats import GlobalStats
-from .thread import ThreadContext, ThreadMode
+from .macro_jit import JIT_THRESHOLD as _JIT_THRESHOLD
+from .macro_jit import compile_macro_handler
+from .thread import ThreadContext, ThreadMode, build_macro_plan
 
 #: Event kinds in the cycle-indexed event table.
 _EV_COMPLETE = 0
@@ -81,6 +83,30 @@ def _horizon_covers_on_cycle(policy_type: type) -> bool:
         if "on_cycle" in attrs:
             return False
     return True
+
+def _macro_covers_policy(policy_type: type) -> bool:
+    """May the fused dispatch fast path run under ``REPRO_SPECULATE=auto``?
+
+    Mirrors :func:`_horizon_covers_on_cycle`: walking the MRO from the
+    most-derived class, a ``macro_step_ok`` definition must appear at or
+    before the first ``on_cycle`` / ``on_l2_miss_detected`` definition —
+    whoever last changed the policy's per-cycle/event accounting must
+    also have (re)declared the macro-step contract.  ``FetchPolicy``
+    defines all three, so policies without accounting are trivially
+    covered; unknown policies with accounting get the conservative veto.
+    """
+    for klass in policy_type.__mro__:
+        attrs = vars(klass)
+        if "macro_step_ok" in attrs:
+            return True
+        if "on_cycle" in attrs or "on_l2_miss_detected" in attrs:
+            return False
+    return True
+
+
+#: Plan-cache probe sentinel: distinguishes "row never probed" from the
+#: cached "no fusable run starts here" (None).
+_PLAN_MISSING = object()
 
 #: Cycles without a single commit before the deadlock guard trips.
 _DEADLOCK_WINDOW = 100_000
@@ -129,6 +155,7 @@ class SMTPipeline:
         self._fetch_buffer_size = config.fetch_buffer_size
         self._iline_bytes = iline
         self._icache_latency = config.icache.latency
+        self._dcache_latency = config.dcache.latency
         self._l2_detect_latency = config.dcache.latency + config.l2.latency
         self.predictor = PerceptronPredictor(
             config.predictor_entries, config.predictor_history,
@@ -191,6 +218,39 @@ class SMTPipeline:
         # Avoid a no-op bound-method call per cycle for the many policies
         # that never override on_cycle.
         self._policy_on_cycle = policy.on_cycle if overrides_on_cycle else None
+
+        #: Macro-step speculation: the guarded fused dispatch fast path
+        #: (see :meth:`_macro_dispatch`).  Controlled by the
+        #: ``REPRO_SPECULATE`` environment knob rather than an SMTConfig
+        #: field — the config encoding doubles as the result-cache key,
+        #: and by the bit-identity contract this switch cannot change
+        #: any result (tests/test_macro_speculation.py).  ``auto``
+        #: additionally vetoes policies whose accounting overrides do
+        #: not declare ``macro_step_ok`` (the skip_horizon opt-in
+        #: pattern); ``on`` trusts construction-time bit-identity even
+        #: for those.  Mutable, like ``cycle_skip``.
+        overrides_macro_ok = (policy_type.macro_step_ok
+                              is not FetchPolicy.macro_step_ok)
+        self._macro_step_ok = (policy.macro_step_ok if overrides_macro_ok
+                               else None)
+        mode = speculation_mode()
+        self.macro_spec = (mode == "on"
+                           or (mode == "auto"
+                               and _macro_covers_policy(policy_type)))
+        # Plans depend only on trace columns + width: share the cache
+        # trace-wide so co-threads and repeated runs reuse recordings.
+        # The per-thread fetch address columns (thread-offset PC and its
+        # i-cache line) are precomputed here too — numpy vector ops, then
+        # one list per thread — so the fetch loop does a plain subscript
+        # instead of an add and a shift per fetched instruction.
+        shift = self._iline_shift
+        for thread in self.threads:
+            thread.macro_plans = thread.trace.macro_plan_cache(self._width)
+            pcs_off = thread.trace.pc + thread.code_offset
+            lines = (pcs_off >> shift if shift >= 0
+                     else pcs_off // self._iline_bytes)
+            thread.pcs_off = pcs_off.tolist()
+            thread.fetch_lines = lines.tolist()
 
     # ------------------------------------------------------------------ cycle
 
@@ -464,13 +524,39 @@ class SMTPipeline:
             heappop(heap)
         if not bucket:
             return
+        threads = self.threads
+        int_file = self.int_file
+        fp_file = self.fp_file
+        src_ready = self._src_ready
         for kind, inst in bucket:
             state = inst.state
             if state == _SQUASHED or state == _RETIRED:
                 continue
             if kind == _EV_COMPLETE:
                 if state == _ISSUED:
-                    self._complete(inst, now)
+                    # Inlined _complete (the per-completion hot path).
+                    inst.state = _COMPLETED
+                    thread = threads[inst.tid]
+                    if inst.l2_counted:
+                        inst.l2_counted = False
+                        thread.pending_l2_misses -= 1
+                    preg = inst.pdest
+                    if preg != NO_REG:
+                        invalid = inst.invalid
+                        file = (int_file if inst.dest_arch < _NINT
+                                else fp_file)
+                        file.ready[preg] = now       # inlined set_ready
+                        file.inv[preg] = invalid
+                        woken = file.waiters[preg]
+                        if woken:
+                            file.waiters[preg] = []
+                            for waiter in woken:
+                                src_ready(waiter, now, preg, invalid)
+                        if invalid and thread.mode is _RUNAHEAD:
+                            self._recycle_runahead_dest(thread, inst)
+                    if (inst.is_branch and not inst.invalid
+                            and inst.mispredicted):
+                        self._resolve_misprediction(inst, now)
             elif kind == _EV_L2_DETECT:
                 if state < _RETIRED:
                     self._on_l2_detected(inst, now)
@@ -478,6 +564,8 @@ class SMTPipeline:
             self._drain_folds(now)
 
     def _complete(self, inst: DynInst, now: int) -> None:
+        # Readable form; _process_events carries an inlined mirror of
+        # this body for the per-completion hot path.
         inst.state = _COMPLETED
         thread = self.threads[inst.tid]
         if inst.l2_counted:
@@ -590,76 +678,92 @@ class SMTPipeline:
 
     def _commit_thread(self, thread: ThreadContext, now: int,
                        budget: int) -> int:
-        window = self.rob._queues[thread.tid]   # peek; pops go via pop_head
-        while budget > 0 and window:
-            head = window[0]
-            if thread.mode is _NORMAL:
+        tid = thread.tid
+        rob = self.rob
+        window = rob._queues[tid]   # peek; pops inlined below
+        if not window:
+            return budget
+        stats = thread.stats
+        # The mode is stable across the loop: runahead entry breaks out,
+        # runahead exit happens in _commit_stage — so the normal and
+        # runahead commit loops can be specialized separately with the
+        # per-instruction helpers inlined (the per-inst hot path).
+        if thread.mode is _NORMAL:
+            last_index = thread.last_index
+            gstats = self.gstats
+            while budget > 0 and window:
+                head = window[0]
                 if head.state == _COMPLETED:
-                    self._commit(thread, head, now)
+                    window.popleft()        # inlined _commit / pop_head
+                    rob._occupancy -= 1
+                    rob.per_thread[tid] -= 1
+                    head.state = _RETIRED
+                    thread.rob_held -= 1
+                    stats.committed += 1
+                    gstats.committed += 1
+                    self._last_commit_cycle = now
                     budget -= 1
+                    dest_arch = head.dest_arch
+                    if head.pdest != NO_REG:
+                        if dest_arch < _NINT:
+                            klass = 0
+                            arch_index = dest_arch
+                        else:
+                            klass = 1
+                            arch_index = dest_arch - _NINT
+                        old = thread.rename.commit_dest(
+                            klass, arch_index, head.pdest)
+                        if old != head.pdest:
+                            self._release_preg(thread, klass, old)
+                    if head.is_store:
+                        self.mem.data_access_packed(head.addr, True,
+                                                    now, tid)
+                    if head.trace_index == last_index:
+                        thread.finished_passes += 1
+                        stats.passes += 1
                 elif (head.l2_miss and self._uses_runahead
                       and self.runahead.should_enter(thread, head, now)):
                     self._enter_runahead(thread, head, now)
-                    budget -= 1
-                    break
+                    return budget - 1
                 else:
                     break
-            else:
-                if head.state == _COMPLETED:
-                    self._pseudo_retire(thread, head, now)
-                    budget -= 1
-                else:
-                    break
-        return budget
-
-    def _commit(self, thread: ThreadContext, inst: DynInst,
-                now: int) -> None:
-        rob = self.rob          # inlined pop_head (head already in hand)
-        rob._queues[thread.tid].popleft()
-        rob._occupancy -= 1
-        rob.per_thread[thread.tid] -= 1
-        inst.state = _RETIRED
-        thread.rob_held -= 1
-        thread.stats.committed += 1
-        self.gstats.committed += 1
-        self._last_commit_cycle = now
-        if inst.pdest != NO_REG:
-            dest_arch = inst.dest_arch
+            return budget
+        int_file = self.int_file
+        fp_file = self.fp_file
+        recycle = self._recycle_runahead_dest
+        while budget > 0 and window:
+            head = window[0]
+            if head.state != _COMPLETED:
+                break
+            window.popleft()        # inlined _pseudo_retire / pop_head
+            rob._occupancy -= 1
+            rob.per_thread[tid] -= 1
+            head.state = _RETIRED
+            thread.rob_held -= 1
+            stats.pseudo_retired += 1
+            # Forward progress, albeit speculative.
+            self._last_commit_cycle = now
+            budget -= 1
+            dest_arch = head.dest_arch
+            if dest_arch == NO_REG:
+                continue
             if dest_arch < _NINT:
-                klass = 0
-                arch_index = dest_arch
+                klass, file = 0, int_file
             else:
-                klass = 1
-                arch_index = dest_arch - _NINT
-            old = thread.rename.commit_dest(klass, arch_index, inst.pdest)
-            if old != inst.pdest:
-                self._release_preg(thread, klass, old)
-        if inst.is_store:
-            self.mem.data_access(inst.addr, True, now, thread.tid)
-        if inst.trace_index == thread.last_index:
-            thread.finished_passes += 1
-            thread.stats.passes += 1
-
-    def _pseudo_retire(self, thread: ThreadContext, inst: DynInst,
-                       now: int) -> None:
-        rob = self.rob          # inlined pop_head (head already in hand)
-        rob._queues[thread.tid].popleft()
-        rob._occupancy -= 1
-        rob.per_thread[thread.tid] -= 1
-        inst.state = _RETIRED
-        thread.rob_held -= 1
-        thread.stats.pseudo_retired += 1
-        self._last_commit_cycle = now  # forward progress, albeit speculative
-        if inst.dest_arch == NO_REG:
-            return
-        if inst.dest_arch < _NINT:
-            klass, file = 0, self.int_file
-        else:
-            klass, file = 1, self.fp_file
-        if inst.old_pdest != NO_REG and not file.pinned[inst.old_pdest]:
-            self._release_preg(thread, klass, inst.old_pdest)
-        if inst.pdest != NO_REG:   # prefilter: recycle's common early-out
-            self._recycle_runahead_dest(thread, inst)
+                klass, file = 1, fp_file
+            old = head.old_pdest
+            if old != NO_REG and not file.pinned[old]:
+                # Inlined _release_preg (pinned pre-checked just above).
+                if not file._allocated[old]:
+                    raise SimulationError(
+                        f"{file.name}: double release of p{old}")
+                file._allocated[old] = False
+                file.waiters[old].clear()
+                file._free.append(old)
+                thread.regs_held[klass] -= 1
+            if head.pdest != NO_REG:   # prefilter: recycle's early-out
+                recycle(thread, head)
+        return budget
 
     def _enter_runahead(self, thread: ThreadContext, trigger: DynInst,
                         now: int) -> None:
@@ -732,13 +836,21 @@ class SMTPipeline:
         else:
             klass, file = 1, self.fp_file
             arch_index = inst.dest_arch - _NINT
-        if file.pinned[inst.pdest]:
+        preg = inst.pdest
+        if file.pinned[preg]:
             return
         front = thread.rename.front[klass]
-        if front[arch_index] != inst.pdest:
+        if front[arch_index] != preg:
             return
         front[arch_index] = thread.rename.arch[klass][arch_index]
-        self._release_preg(thread, klass, inst.pdest)
+        # Inlined _release_preg (pinned pre-checked just above).
+        if not file._allocated[preg]:
+            raise SimulationError(
+                f"{file.name}: double release of p{preg}")
+        file._allocated[preg] = False
+        file.waiters[preg].clear()
+        file._free.append(preg)
+        thread.regs_held[klass] -= 1
         thread.arch_inv[inst.dest_arch] = inst.invalid   # note_arch_invalid
         inst.pdest = NO_REG
 
@@ -747,8 +859,15 @@ class SMTPipeline:
     def _issue_stage(self, now: int) -> None:
         # IssueQueueKind and FUKind coincide numerically (INT/FP + LS/LDST),
         # so the queue index doubles as the FU pool index.
-        available = self.fus._available
-        issue = self._issue
+        fus = self.fus
+        available = fus._available
+        issued = fus.issued
+        threads = self.threads
+        events = self._events
+        heap = self._event_heap
+        gstats = self.gstats
+        issue_load = self._issue_load
+        issue_store = self._issue_store
         for queue_kind in (2, 0, 1):     # LS first, then INT, FP
             queue = self.queues[queue_kind]
             if not queue._ready:
@@ -756,48 +875,46 @@ class SMTPipeline:
             budget = available[queue_kind]
             if budget <= 0:
                 continue
+            per_thread = queue.per_thread
             for inst in queue.take_ready(budget):
-                issue(inst, queue, now)
+                # Inlined _issue (the per-instruction issue hot path).
+                tid = inst.tid
+                thread = threads[tid]
+                if inst.is_load:
+                    if not issue_load(thread, inst, queue, now):
+                        continue
+                elif inst.is_store:
+                    issue_store(thread, inst, now)
+                else:
+                    cycle = now + OP_LATENCY_BY_CODE[inst.op]
+                    inst.complete_cycle = cycle
+                    bucket = events.get(cycle)   # inlined schedule()
+                    if bucket is None:
+                        events[cycle] = [(_EV_COMPLETE, inst)]
+                        heappush(heap, cycle)
+                    else:
+                        bucket.append((_EV_COMPLETE, inst))
+                # Inlined FUPool.acquire: the take_ready budget is the
+                # available unit count, so the pool can never be
+                # exhausted here.
+                kind = OP_FU_BY_CODE[inst.op]
+                available[kind] -= 1
+                issued[kind] += 1
+                inst.state = _ISSUED
+                # Inlined queue.remove: a selected entry is always in its
+                # queue, and take_ready already stripped replay deferral.
+                inst.in_iq = False
+                queue.size -= 1
+                per_thread[tid] -= 1
+                if inst.counted:   # inlined _uncount
+                    inst.counted = False
+                    thread.icount -= 1
+                stats = thread.stats
+                stats.issued += 1
+                stats.executed += 1
+                gstats.executed += 1
         if self._fold_worklist:
             self._drain_folds(now)
-
-    def _issue(self, inst: DynInst, queue: IssueQueue, now: int) -> None:
-        thread = self.threads[inst.tid]
-        if inst.is_load:
-            issued = self._issue_load(thread, inst, queue, now)
-            if not issued:
-                return
-        elif inst.is_store:
-            self._issue_store(thread, inst, now)
-        else:
-            cycle = now + OP_LATENCY_BY_CODE[inst.op]
-            inst.complete_cycle = cycle
-            events = self._events            # inlined schedule()
-            bucket = events.get(cycle)
-            if bucket is None:
-                events[cycle] = [(_EV_COMPLETE, inst)]
-                heappush(self._event_heap, cycle)
-            else:
-                bucket.append((_EV_COMPLETE, inst))
-        # Inlined FUPool.acquire: the take_ready budget is the available
-        # unit count, so the pool can never be exhausted here.
-        fus = self.fus
-        kind = OP_FU_BY_CODE[inst.op]
-        fus._available[kind] -= 1
-        fus.issued[kind] += 1
-        inst.state = _ISSUED
-        # Inlined queue.remove: a selected entry is always in its queue,
-        # and take_ready already stripped any replay deferral.
-        inst.in_iq = False
-        queue.size -= 1
-        queue.per_thread[inst.tid] -= 1
-        if inst.counted:   # inlined _uncount
-            inst.counted = False
-            thread.icount -= 1
-        stats = thread.stats
-        stats.issued += 1
-        stats.executed += 1
-        self.gstats.executed += 1
 
     def _issue_store(self, thread: ThreadContext, inst: DynInst,
                      now: int) -> None:
@@ -810,8 +927,8 @@ class SMTPipeline:
             data_valid = not (inst.src_inv_mask & 2)
             self.runahead.on_runahead_store(thread, inst, data_valid)
             if self.runahead.prefetch:
-                self.mem.data_access(inst.addr, True, now, thread.tid,
-                                     speculative=True)
+                self.mem.data_access_packed(inst.addr, True, now,
+                                            thread.tid, speculative=True)
 
     def _issue_load(self, thread: ThreadContext, inst: DynInst,
                     queue: IssueQueue, now: int) -> bool:
@@ -819,15 +936,16 @@ class SMTPipeline:
         if thread.mode is _RUNAHEAD:
             self._issue_runahead_load(thread, inst, now)
             return True
-        result = self.mem.data_access(inst.addr, False, now, thread.tid)
-        if result is None:
+        packed = self.mem.data_access_packed(inst.addr, False, now,
+                                             thread.tid)
+        if packed < 0:
             # Demand miss rejected by a full MSHR file: replay next cycle.
             # The replay flag tells the fast path this entry cannot issue
             # before the MSHRs release an entry (mem.next_fill_cycle), so
             # the retry window is skippable instead of stepped.
             queue.requeue(inst, replay=True)
             return False
-        cycle = result.complete_cycle
+        cycle = packed >> 2
         inst.complete_cycle = cycle
         events = self._events                # inlined schedule()
         bucket = events.get(cycle)
@@ -836,7 +954,7 @@ class SMTPipeline:
             heappush(self._event_heap, cycle)
         else:
             bucket.append((_EV_COMPLETE, inst))
-        if result.l2_miss:
+        if packed & 2:
             detect = min(cycle, now + self._l2_detect_latency)
             self.schedule(detect, _EV_L2_DETECT, inst)
         return True
@@ -845,7 +963,7 @@ class SMTPipeline:
                              now: int) -> None:
         """Runahead loads: cache hits complete normally; L2 misses become
         prefetches and produce INV at L2-lookup time (§3.2)."""
-        l1_latency = self.config.dcache.latency
+        l1_latency = self._dcache_latency
         detect_latency = self._l2_detect_latency
         forwarded = self.runahead.load_forward_validity(thread, inst)
         if forwarded is not None:
@@ -868,21 +986,20 @@ class SMTPipeline:
                     + inst.trace_index)
             self.schedule(inst.complete_cycle, _EV_COMPLETE, inst)
             return
-        result = self.mem.data_access(inst.addr, False, now, thread.tid,
-                                      speculative=True)
-        if result is None:
+        packed = self.mem.data_access_packed(inst.addr, False, now,
+                                             thread.tid, speculative=True)
+        if packed < 0:
             # Prefetch dropped (MSHRs full): bogus value, no retry.
             inst.invalid = True
             inst.complete_cycle = now + l1_latency
-        elif result.l2_miss:
+        elif packed & 2:
             # Long-latency: invalidate the dest, keep the fill as prefetch.
             inst.invalid = True
-            inst.complete_cycle = min(result.complete_cycle,
-                                      now + detect_latency)
+            inst.complete_cycle = min(packed >> 2, now + detect_latency)
             if self.runahead.stop_fetch_on_l2_miss:
                 thread.gate_fetch_until(thread.runahead_trigger_ready)
         else:
-            inst.complete_cycle = result.complete_cycle
+            inst.complete_cycle = packed >> 2
         cycle = inst.complete_cycle
         events = self._events                # inlined schedule()
         bucket = events.get(cycle)
@@ -958,8 +1075,16 @@ class SMTPipeline:
     def _dispatch_stage(self, now: int) -> None:
         budget = self._width
         dispatch = self._dispatch
+        macro = self.macro_spec
         for thread in self._rotations[now % self.num_threads]:
             fetch_queue = thread.fetch_queue
+            if macro and budget > 1 and len(fetch_queue) > 1:
+                taken = self._macro_dispatch(thread, fetch_queue, now,
+                                             budget)
+                if taken:
+                    budget -= taken
+                    if budget <= 0:
+                        break
             while budget > 0 and fetch_queue:
                 if not dispatch(thread, fetch_queue[0], now):
                     self.gstats.dispatch_stalls += 1
@@ -970,6 +1095,396 @@ class SMTPipeline:
                 break
         if self._fold_worklist:
             self._drain_folds(now)
+
+    def _macro_abort(self, cause: str) -> None:
+        """Account one failed macro-step entry guard (no state mutated)."""
+        gstats = self.gstats
+        gstats.macro_guard_aborts += 1
+        causes = gstats.macro_abort_causes
+        causes[cause] = causes.get(cause, 0) + 1
+
+    def _macro_dispatch(self, thread: ThreadContext, fetch_queue,
+                        now: int, budget: int) -> int:
+        """Guarded fused dispatch of one macro run; returns insts taken.
+
+        The macro-step layer's dispatcher: look up (or record) the
+        pre-decoded :class:`~repro.core.thread.MacroPlan` for the run
+        headed by the fetch queue's front entry, check the *entry
+        guards* — ROB / per-issue-queue / per-register-file headroom
+        against the plan's exact demand prefix, plus the policy's
+        :meth:`~repro.policies.base.FetchPolicy.macro_step_ok` veto —
+        and, only if every guard holds, rename and dispatch the whole
+        run in one fused loop with all shared lookups hoisted out.
+
+        Abort semantics are strictly *entry-guarded*: no machine state
+        is touched before the last guard passes, so a failed guard
+        costs one counter bump and falls through to the per-stage path —
+        there is no rollback, and the result is bit-identical either
+        way.  Guard sufficiency: dispatching can only *release*
+        resources mid-run (a fold frees its queue slot and, in
+        runahead, its destination register), so demand computed as if
+        nothing were released is an upper bound, and every instruction
+        of a guarded run is guaranteed to dispatch exactly as the
+        per-stage path would have.
+        """
+        start = fetch_queue[0].trace_index
+        plans = thread.macro_plans
+        plan = plans.get(start, _PLAN_MISSING)
+        if plan is _PLAN_MISSING:
+            plan = build_macro_plan(thread, start, self._width)
+            plans[start] = plan
+        if plan is None:
+            return 0    # speculation-unsafe head: per-stage path owns it
+        k = plan.length
+        qlen = len(fetch_queue)
+        if qlen < k:
+            k = qlen
+        if budget < k:
+            k = budget
+        rob = self.rob
+        headroom = rob.capacity - rob._occupancy
+        if headroom < k:
+            if headroom < 2:
+                self._macro_abort("rob")
+                return 0
+            k = headroom
+        drop_active = thread.mode is _RUNAHEAD and self._ra_fp_inval
+        demands = (plan.runahead_demand if drop_active
+                   else plan.normal_demand)
+        queues = self.queues
+        int_file = self.int_file
+        fp_file = self.fp_file
+        room_q0 = queues[0].capacity - queues[0].size
+        room_q1 = queues[1].capacity - queues[1].size
+        room_q2 = queues[2].capacity - queues[2].size
+        room_d0 = len(int_file._free)
+        room_d1 = len(fp_file._free)
+        need_q0, need_q1, need_q2, need_d0, need_d1 = demands[k]
+        if (need_q0 > room_q0 or need_q1 > room_q1 or need_q2 > room_q2
+                or need_d0 > room_d0 or need_d1 > room_d1):
+            # Shrink to the longest prefix the headroom covers (demand
+            # prefixes are monotone, so scanning down finds it); only a
+            # front that cannot even dispatch a 2-run falls through.
+            while k > 2:
+                k -= 1
+                need_q0, need_q1, need_q2, need_d0, need_d1 = demands[k]
+                if (need_q0 <= room_q0 and need_q1 <= room_q1
+                        and need_q2 <= room_q2 and need_d0 <= room_d0
+                        and need_d1 <= room_d1):
+                    break
+            else:
+                self._macro_abort(
+                    "iq" if (need_q0 > room_q0 or need_q1 > room_q1
+                             or need_q2 > room_q2) else "regfile")
+                return 0
+        macro_ok = self._macro_step_ok
+        if macro_ok is not None and not macro_ok(thread, k, now):
+            self._macro_abort("policy")
+            return 0
+        # Desync validation (still guard phase — nothing mutated): the
+        # fetch queue is contiguous by construction (appends follow the
+        # cursor, squashes clear it whole) and plans never cross the
+        # trace-end wrap, so the head entry pins the whole run; checking
+        # the run's tail entry too is belt and braces against drift and
+        # against a pass wrap inside the window.
+        if fetch_queue[k - 1].trace_index != start + k - 1:
+            self._macro_abort("desync")
+            return 0
+
+        # --- all guards hold ---
+        # JIT tier: a full-length run on a hot plan executes through its
+        # specialized compiled handler (constants baked in, loop
+        # unrolled); truncated runs and cold plans take the generic
+        # fused loop below.  Both are statement-for-statement
+        # transcriptions of _dispatch — bit-identical by construction.
+        if k == plan.length:
+            if drop_active:
+                handler = plan.jit_runahead
+                if handler is None:
+                    hits = plan.hot_runahead = plan.hot_runahead + 1
+                    if hits >= _JIT_THRESHOLD:
+                        handler = plan.jit_runahead = (
+                            compile_macro_handler(plan, True))
+            else:
+                handler = plan.jit_normal
+                if handler is None:
+                    hits = plan.hot_normal = plan.hot_normal + 1
+                    if hits >= _JIT_THRESHOLD:
+                        handler = plan.jit_normal = (
+                            compile_macro_handler(plan, False))
+            if handler is not None:
+                return handler(self, thread, fetch_queue, now)
+
+        # --- generic tier: fused rename+dispatch of the whole run ---
+        # Per-instruction *net* side effects mirror _dispatch exactly
+        # (same waiter-list order, same final field states); transient
+        # round-trips the per-stage path performs and immediately undoes
+        # are elided:
+        #   * default DynInst fields are not re-stored with their
+        #     defaults (each DynInst dispatches exactly once);
+        #   * a dispatch-time fold skips the issue-queue insert its own
+        #     _fold would remove one statement later (net zero, and no
+        #     guard reads queue occupancy in between);
+        #   * in runahead, a dispatch-time fold with a destination fuses
+        #     alloc + set_ready + _recycle_runahead_dest into their net
+        #     effect — the free list is peeked, never popped (LIFO alloc
+        #     would return the same register it releases), leaving
+        #     ready/inv = (now, INV), the front map restored to the
+        #     checkpointed architectural register, arch_inv latched, and
+        #     high_water accounting for the transient allocation.
+        # The loop is specialized by mode (stable within the stage:
+        # runahead entry/exit happen at commit).
+        tid = thread.tid
+        rob_queue = rob._queues[tid]
+        rename = thread.rename
+        front0 = rename.front[0]
+        front1 = rename.front[1]
+        arch_inv = thread.arch_inv
+        stats = thread.stats
+        plan_queues = plan.queues
+        plan_store = plan.is_store
+        plan_dest = plan.dest
+        plan_dk = plan.dest_klass
+        plan_dai = plan.dest_aidx
+        plan_s1 = plan.src1
+        plan_s2 = plan.src2
+        never = _NEVER
+        nint = _NINT
+        popleft = fetch_queue.popleft
+        alloc_int = 0
+        alloc_fp = 0
+        if drop_active:
+            plan_fp = plan.is_fp
+            arch0 = rename.arch[0]
+            arch1 = rename.arch[1]
+            for position in range(k):
+                inst = popleft()
+                rob_queue.append(inst)
+                if plan_fp[position]:
+                    # §3.3 decode drop, mirrored from _dispatch: FP
+                    # compute in runahead uses only a ROB slot, INV out.
+                    inst.state = _COMPLETED
+                    inst.invalid = True
+                    inst.complete_cycle = now
+                    if inst.counted:
+                        inst.counted = False
+                        thread.icount -= 1
+                    dest_arch = plan_dest[position]
+                    if dest_arch >= 0:
+                        arch_inv[dest_arch] = True
+                    stats.folded += 1
+                    continue
+                inst.state = _DISPATCHED
+                pending = 0
+                mask = 0
+                arch = plan_s1[position]
+                if arch >= 0:
+                    if arch_inv[arch]:
+                        mask = 1
+                    else:
+                        if arch < nint:
+                            file = int_file
+                            preg = front0[arch]
+                        else:
+                            file = fp_file
+                            preg = front1[arch - nint]
+                        inst.psrc1 = preg
+                        if file.ready[preg] <= now:
+                            if file.inv[preg]:
+                                mask = 1
+                        else:
+                            file.waiters[preg].append(inst)
+                            pending = 1
+                arch = plan_s2[position]
+                if arch >= 0:
+                    if arch_inv[arch]:
+                        mask |= 2
+                    else:
+                        if arch < nint:
+                            file = int_file
+                            preg = front0[arch]
+                        else:
+                            file = fp_file
+                            preg = front1[arch - nint]
+                        inst.psrc2 = preg
+                        if file.ready[preg] <= now:
+                            if file.inv[preg]:
+                                mask |= 2
+                        else:
+                            file.waiters[preg].append(inst)
+                            pending += 1
+                if pending == 0 and ((mask & 1) if plan_store[position]
+                                     else mask):
+                    # Fused dispatch-time fold (the runahead INV chain).
+                    inst.src_inv_mask = mask
+                    inst.invalid = True
+                    inst.state = _COMPLETED
+                    inst.complete_cycle = now
+                    if inst.counted:
+                        inst.counted = False
+                        thread.icount -= 1
+                    stats.folded += 1
+                    dest_arch = plan_dest[position]
+                    if dest_arch >= 0:
+                        if plan_dk[position] == 0:
+                            file = int_file
+                            fmap = front0
+                            amap = arch0
+                        else:
+                            file = fp_file
+                            fmap = front1
+                            amap = arch1
+                        free = file._free
+                        preg = free[-1]     # alloc+recycle nets to a peek
+                        used = file.size - len(free) + 1
+                        if used > file.high_water:
+                            file.high_water = used
+                        file.ready[preg] = now
+                        file.inv[preg] = True
+                        arch_index = plan_dai[position]
+                        inst.old_pdest = fmap[arch_index]
+                        fmap[arch_index] = amap[arch_index]
+                        arch_inv[dest_arch] = True
+                    continue
+                if pending:
+                    inst.pending_srcs = pending
+                if mask:
+                    inst.src_inv_mask = mask
+                dest_arch = plan_dest[position]
+                if dest_arch >= 0:
+                    if plan_dk[position] == 0:
+                        file = int_file
+                        fmap = front0
+                        alloc_int += 1
+                    else:
+                        file = fp_file
+                        fmap = front1
+                        alloc_fp += 1
+                    free = file._free      # inlined PhysRegFile.alloc
+                    preg = free.pop()
+                    file._allocated[preg] = True
+                    file.ready[preg] = never
+                    file.inv[preg] = False
+                    file.pinned[preg] = False
+                    used = file.size - len(free)
+                    if used > file.high_water:
+                        file.high_water = used
+                    arch_index = plan_dai[position]
+                    inst.pdest = preg
+                    inst.old_pdest = fmap[arch_index]
+                    fmap[arch_index] = preg
+                    arch_inv[dest_arch] = False
+                queue = queues[plan_queues[position]]
+                queue.size += 1
+                queue.per_thread[tid] += 1
+                inst.in_iq = True
+                if pending == 0:
+                    inst.state = _READY
+                    queue._ready.append(inst)
+        else:
+            fold = self._fold
+            for position in range(k):
+                inst = popleft()
+                rob_queue.append(inst)
+                inst.state = _DISPATCHED
+                pending = 0
+                mask = 0
+                arch = plan_s1[position]
+                if arch >= 0:
+                    if arch_inv[arch]:
+                        mask = 1
+                    else:
+                        if arch < nint:
+                            file = int_file
+                            preg = front0[arch]
+                        else:
+                            file = fp_file
+                            preg = front1[arch - nint]
+                        inst.psrc1 = preg
+                        if file.ready[preg] <= now:
+                            if file.inv[preg]:
+                                mask = 1
+                        else:
+                            file.waiters[preg].append(inst)
+                            pending = 1
+                arch = plan_s2[position]
+                if arch >= 0:
+                    if arch_inv[arch]:
+                        mask |= 2
+                    else:
+                        if arch < nint:
+                            file = int_file
+                            preg = front0[arch]
+                        else:
+                            file = fp_file
+                            preg = front1[arch - nint]
+                        inst.psrc2 = preg
+                        if file.ready[preg] <= now:
+                            if file.inv[preg]:
+                                mask |= 2
+                        else:
+                            file.waiters[preg].append(inst)
+                            pending += 1
+                if pending:
+                    inst.pending_srcs = pending
+                if mask:
+                    inst.src_inv_mask = mask
+                dest_arch = plan_dest[position]
+                if dest_arch >= 0:
+                    if plan_dk[position] == 0:
+                        file = int_file
+                        fmap = front0
+                        alloc_int += 1
+                    else:
+                        file = fp_file
+                        fmap = front1
+                        alloc_fp += 1
+                    free = file._free      # inlined PhysRegFile.alloc
+                    preg = free.pop()
+                    file._allocated[preg] = True
+                    file.ready[preg] = never
+                    file.inv[preg] = False
+                    file.pinned[preg] = False
+                    used = file.size - len(free)
+                    if used > file.high_water:
+                        file.high_water = used
+                    arch_index = plan_dai[position]
+                    inst.pdest = preg
+                    inst.old_pdest = fmap[arch_index]
+                    fmap[arch_index] = preg
+                    arch_inv[dest_arch] = False
+                if pending == 0:
+                    if (mask & 1) if plan_store[position] else mask:
+                        # Dispatch-time fold: never entered its queue, so
+                        # _fold's in_iq check skips the removal.
+                        fold(inst, now)
+                        continue
+                    queue = queues[plan_queues[position]]
+                    queue.size += 1
+                    queue.per_thread[tid] += 1
+                    inst.in_iq = True
+                    inst.state = _READY
+                    queue._ready.append(inst)
+                else:
+                    queue = queues[plan_queues[position]]
+                    queue.size += 1
+                    queue.per_thread[tid] += 1
+                    inst.in_iq = True
+        # Monotone counters, batched over the run (nothing reads them
+        # mid-stage; fold-time releases inside the loop are additive
+        # with these, so order does not matter).
+        rob._occupancy += k
+        rob.per_thread[tid] += k
+        thread.rob_held += k
+        stats.dispatched += k
+        if alloc_int:
+            thread.regs_held[0] += alloc_int
+        if alloc_fp:
+            thread.regs_held[1] += alloc_fp
+        gstats = self.gstats
+        gstats.macro_steps += 1
+        gstats.macro_insts += k
+        return k
 
     def _dispatch(self, thread: ThreadContext, inst: DynInst,
                   now: int) -> bool:
@@ -1151,20 +1666,26 @@ class SMTPipeline:
 
     def _fetch_thread(self, thread: ThreadContext, now: int,
                       limit: int) -> int:
+        fetch_queue = thread.fetch_queue
+        buffer_room = self._fetch_buffer_size - len(fetch_queue)
+        if buffer_room <= 0:
+            # Full fetch buffer (dispatch is the bottleneck): bail before
+            # paying for the hot-loop hoists below.
+            return 0
+        if buffer_room < limit:
+            limit = buffer_room
         count = 0
-        buffer_room = self._fetch_buffer_size - len(thread.fetch_queue)
-        limit = min(limit, buffer_room)
-        pcs = thread.pcs
-        code_offset = thread.code_offset
-        iline_shift = self._iline_shift
         icache_done = now + self._icache_latency
         stats = thread.stats
-        fetch_queue = thread.fetch_queue
         gseq = self._gseq
         # Trace columns and address math, hoisted for the inlined
         # ThreadContext.next_inst below (this loop materializes every
         # dynamic instruction in the simulation).  The mode is stable
         # within a fetch block: runahead entry/exit happen at commit.
+        # ``pcs_off``/``fetch_lines`` carry the thread's code offset and
+        # the i-cache line index pre-folded (see __init__).
+        pcs_off = thread.pcs_off
+        lines = thread.fetch_lines
         ops = thread.ops
         dests = thread.dests
         src1s = thread.src1s
@@ -1177,23 +1698,24 @@ class SMTPipeline:
         data_region = thread.data_region
         trace_len = len(ops)
         in_runahead = thread.mode is _RUNAHEAD
+        seq = thread.seq
+        cursor = thread.cursor
+        append = fetch_queue.append
+        ifetch_packed = self.mem.ifetch_packed
         while count < limit:
-            cursor = thread.cursor
-            pc = pcs[cursor] + code_offset
-            line = (pc >> iline_shift if iline_shift >= 0
-                    else pc // self._iline_bytes)
+            line = lines[cursor]
             if line != thread.fetch_line:
-                result = self.mem.ifetch(pc, now, tid,
-                                         speculative=in_runahead)
+                complete = ifetch_packed(pcs_off[cursor], now, tid,
+                                         speculative=in_runahead) >> 2
                 thread.fetch_line = line
-                if result.complete_cycle > icache_done:
-                    thread.block_fetch_until(result.complete_cycle)
+                if complete > icache_done:
+                    thread.block_fetch_until(complete)
                     break
-            # Inlined thread.next_inst (the pc above is reused instead of
-            # being recomputed per instruction).
+            # Inlined thread.next_inst over the precomputed columns.
+            pc = pcs_off[cursor]
             pass_no = thread.pass_no
             inst = DynInst(
-                tid, thread.seq, cursor, pass_no,
+                tid, seq, cursor, pass_no,
                 ops[cursor], pc, 0,
                 dests[cursor], src1s[cursor], src2s[cursor],
                 takens[cursor],
@@ -1204,14 +1726,13 @@ class SMTPipeline:
                 inst.addr = data_base + (
                     (addrs[cursor] + pass_no * pass_stride) % data_region)
             inst.runahead = in_runahead
-            thread.seq += 1
+            seq += 1
             cursor += 1
             if cursor >= trace_len:
                 cursor = 0
                 thread.pass_no = pass_no + 1
-            thread.cursor = cursor
             inst.counted = True
-            fetch_queue.append(inst)
+            append(inst)
             count += 1
             if inst.is_branch:
                 stats.branches += 1
@@ -1223,9 +1744,11 @@ class SMTPipeline:
                     if not self.btb.lookup_and_insert(pc):
                         thread.block_fetch_until(now + 2)
                     break
+        thread.cursor = cursor
         if count:
             # Per-instruction counters, applied once per fetch block.
             self._gseq = gseq
+            thread.seq = seq
             thread.icount += count
             stats.fetched += count
         return count

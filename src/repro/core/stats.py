@@ -61,13 +61,29 @@ class ThreadStats:
 
 @dataclasses.dataclass(slots=True)
 class GlobalStats:
-    """Whole-processor counters (slotted, as ThreadStats)."""
+    """Whole-processor counters (slotted, as ThreadStats).
+
+    Unlike :class:`ThreadStats`, these are *diagnostics*: they are not
+    part of :class:`~repro.core.processor.SimResult` and therefore not
+    covered by the golden-digest regime — new counters may be added
+    without a cache salt bump.
+    """
 
     cycles: int = 0
     executed: int = 0
     committed: int = 0
     fetch_conflicts: int = 0   # cycles a gated thread was skipped at fetch
     dispatch_stalls: int = 0   # dispatch attempts blocked by a full resource
+
+    # Macro-step speculation accounting (see SMTPipeline._macro_dispatch):
+    # fused runs taken, instructions dispatched through them, and entry
+    # guards that failed after a plan was found (by cause in the dict —
+    # "rob", "iq", "regfile", "policy", "desync").
+    macro_steps: int = 0
+    macro_insts: int = 0
+    macro_guard_aborts: int = 0
+    macro_abort_causes: Dict[str, int] = dataclasses.field(
+        default_factory=dict)
 
     def as_dict(self) -> Dict[str, int]:
         return dataclasses.asdict(self)

@@ -169,14 +169,18 @@ class ExhibitResult:
 
         Renderings of the rebuilt result are byte-identical to the
         original's — every renderer consumes only sections and payload.
-        The rich in-process ``data`` values are not serialized, so they
-        come back empty; programmatic callers wanting them assemble from
-        runs instead of the cache.
+        ``data`` is rehydrated from the serialized payload, so a render
+        -cache hit is sliceable programmatically without forcing a full
+        assembly; entries come back in their canonical JSON-safe
+        projection (lists for tuples, string-keyed mappings for
+        tuple-keyed series — exactly what each exhibit exports through
+        its payload), not the original in-process types.
         """
+        payload = data["data"]
         return cls(exhibit=data["exhibit"], title=data["title"],
                    sections=[ExhibitSection.from_dict(section)
                              for section in data["sections"]],
-                   data={}, payload=data["data"])
+                   data=dict(payload), payload=payload)
 
     def render(self, fmt: str = "text") -> str:
         """Render as ``text`` (the paper's ASCII tables), ``json`` or

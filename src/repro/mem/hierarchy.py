@@ -96,6 +96,24 @@ class MemoryHierarchy:
             (demand miss with a full MSHR file) or was dropped (speculative
             miss with a full MSHR file).
         """
+        packed = self.data_access_packed(addr, is_store, now, thread_id,
+                                         speculative)
+        if packed < 0:
+            return None
+        return AccessResult(packed >> 2, bool(packed & 2),
+                            addr // self.dcache.config.line_bytes,
+                            merged=bool(packed & 1))
+
+    def data_access_packed(self, addr: int, is_store: bool, now: int,
+                           thread_id: int, speculative: bool = False) -> int:
+        """Allocation-free :meth:`data_access` for the pipeline hot path.
+
+        Returns ``-1`` for a rejected/dropped access, else
+        ``(complete_cycle << 2) | (l2_miss << 1) | merged`` — the issue
+        stage performs one of these per load/store and only consumes the
+        completion cycle and the L2-miss bit, so the boxed
+        :class:`AccessResult` is reserved for the friendly wrapper.
+        """
         stats = self.stats[thread_id]
         if speculative:
             stats.prefetches += 1
@@ -117,22 +135,26 @@ class MemoryHierarchy:
                 stats.merges += 1
                 l1_done = now + dcache.latency
                 complete = ready if ready > l1_done else l1_done
-                return AccessResult(complete, from_memory, line, merged=True)
+                return (complete << 2) | (2 if from_memory else 0) | 1
             del mshr._entries[line]
 
         if dcache.lookup(line):
-            self._credit_prefetch(line, stats, speculative)
-            return AccessResult(now + dcache.latency, False, line)
+            if not speculative and line in self._prefetched_lines:
+                self._prefetched_lines.discard(line)   # _credit_prefetch
+                stats.useful_prefetches += 1
+            return (now + dcache.latency) << 2
 
         stats.l1d_misses += 1
         probe_done = now + dcache.latency
         if self.l2.lookup(line):
-            self._credit_prefetch(line, stats, speculative)
+            if not speculative and line in self._prefetched_lines:
+                self._prefetched_lines.discard(line)   # _credit_prefetch
+                stats.useful_prefetches += 1
             complete = probe_done + self.l2.latency
             dcache.fill(line)
             # Best-effort MSHR registration for the short L2-hit window.
             mshr.allocate(line, complete, False, now)
-            return AccessResult(complete, False, line)
+            return complete << 2
 
         # L2 miss: full memory round trip.
         complete = probe_done + self.l2.latency + self.memory_latency
@@ -141,13 +163,13 @@ class MemoryHierarchy:
                 # Stores drain through a write buffer; never rejected.
                 mshr.force(line, complete)
             else:
-                return None
+                return -1
         stats.l2_misses += 1
         self.l2.fill(line)
         dcache.fill(line)
         if speculative:
             self._prefetched_lines.add(line)
-        return AccessResult(complete, True, line)
+        return (complete << 2) | 2
 
     def next_fill_cycle(self, now: int) -> Optional[int]:
         """Earliest future cycle at which an outstanding fill completes.
@@ -159,12 +181,6 @@ class MemoryHierarchy:
         :meth:`~repro.mem.mshr.MSHRFile.next_release_cycle`).
         """
         return self.mshr.next_release_cycle(now)
-
-    def _credit_prefetch(self, line: int, stats: MemStats,
-                         speculative: bool) -> None:
-        if not speculative and line in self._prefetched_lines:
-            self._prefetched_lines.discard(line)
-            stats.useful_prefetches += 1
 
     def peek_data(self, addr: int) -> str:
         """Side-effect-free presence probe: 'l1', 'l2', or 'memory'.
@@ -185,6 +201,19 @@ class MemoryHierarchy:
     def ifetch(self, pc: int, now: int, thread_id: int,
                speculative: bool = False) -> AccessResult:
         """Fetch the instruction line containing ``pc``."""
+        packed = self.ifetch_packed(pc, now, thread_id, speculative)
+        return AccessResult(packed >> 2, bool(packed & 2),
+                            pc // self.icache.config.line_bytes,
+                            merged=bool(packed & 1))
+
+    def ifetch_packed(self, pc: int, now: int, thread_id: int,
+                      speculative: bool = False) -> int:
+        """Allocation-free :meth:`ifetch` for the fetch hot path.
+
+        Same ``(complete_cycle << 2) | (l2_miss << 1) | merged`` encoding
+        as :meth:`data_access_packed`; instruction fetches are never
+        rejected, so -1 does not occur.
+        """
         stats = self.stats[thread_id]
         stats.ifetches += 1
         icache = self.icache
@@ -198,17 +227,17 @@ class MemoryHierarchy:
                 stats.merges += 1
                 l1_done = now + icache.latency
                 complete = ready if ready > l1_done else l1_done
-                return AccessResult(complete, from_memory, line, merged=True)
+                return (complete << 2) | (2 if from_memory else 0) | 1
             del mshr._entries[line]
         if icache.lookup(line):
-            return AccessResult(now + icache.latency, False, line)
+            return (now + icache.latency) << 2
         stats.l1i_misses += 1
         probe_done = now + self.icache.latency
         if self.l2.lookup(line):
             complete = probe_done + self.l2.latency
             self.icache.fill(line)
             self.mshr.allocate(line, complete, False, now)
-            return AccessResult(complete, False, line)
+            return complete << 2
         complete = probe_done + self.l2.latency + self.memory_latency
         stats.l2_misses += 1
         self.icache.fill(line)
@@ -216,7 +245,7 @@ class MemoryHierarchy:
         self.mshr.allocate(line, complete, True, now)
         if speculative:
             self._prefetched_lines.add(line)
-        return AccessResult(complete, True, line)
+        return (complete << 2) | 2
 
     # --- functional warmup -----------------------------------------------------
 

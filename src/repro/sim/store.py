@@ -439,3 +439,94 @@ class ExhibitRenderCache:
             atomic_write_json(self._path(render_key), payload)
         except OSError:
             pass
+
+    # --- maintenance (the `repro cache` subcommand) -----------------------
+    #
+    # Render entries are never invalidated in place — a presentation
+    # change bumps EXHIBIT_RENDER_SALT (or an exhibit's version) and the
+    # old keys simply stop being asked for — so without pruning the pool
+    # grows one orphan per superseded rendering, forever.  Same scan /
+    # stats / prune contract as DiskStore, against the render salt.
+
+    def entries(self, need_salt: bool = True) -> Iterator[CacheEntry]:
+        """Scan the cached renderings (metadata only)."""
+        try:
+            filenames = os.listdir(self.root)
+        except OSError:
+            return
+        for filename in filenames:
+            if not filename.endswith(".json"):
+                continue
+            path = os.path.join(self.root, filename)
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue
+            salt: Optional[str] = None
+            if need_salt:
+                try:
+                    with open(path, "r", encoding="utf-8") as handle:
+                        payload = json.load(handle)
+                    salt = payload.get("salt")
+                except (OSError, ValueError):
+                    salt = None
+            yield CacheEntry(key=filename[:-len(".json")], path=path,
+                             salt=salt, mtime=stat.st_mtime,
+                             size_bytes=stat.st_size)
+
+    def stats(self) -> Dict:
+        """Aggregate render-pool statistics, grouped by render salt."""
+        per_salt: Dict[str, Dict[str, int]] = {}
+        total_entries = 0
+        total_bytes = 0
+        for entry in self.entries():
+            label = entry.salt if entry.salt is not None else "<corrupt>"
+            bucket = per_salt.setdefault(label,
+                                         {"entries": 0, "bytes": 0})
+            bucket["entries"] += 1
+            bucket["bytes"] += entry.size_bytes
+            total_entries += 1
+            total_bytes += entry.size_bytes
+        return {
+            "root": self.root,
+            "current_salt": EXHIBIT_RENDER_SALT,
+            "entries": total_entries,
+            "bytes": total_bytes,
+            "by_salt": per_salt,
+        }
+
+    def prune(self, stale_salts: bool = False,
+              older_than_days: Optional[float] = None,
+              now: Optional[float] = None,
+              dry_run: bool = False) -> PruneResult:
+        """Delete renderings under old salts and/or written too long ago.
+
+        Same semantics as :meth:`DiskStore.prune`, with staleness judged
+        against ``EXHIBIT_RENDER_SALT`` (corrupt payloads count as
+        stale — they can never hit).
+        """
+        if not stale_salts and older_than_days is None:
+            raise ValueError(
+                "prune needs a criterion: stale_salts and/or "
+                "older_than_days")
+        reference = time.time() if now is None else now
+        cutoff = (reference - older_than_days * 86400.0
+                  if older_than_days is not None else None)
+        outcome = PruneResult()
+        for entry in self.entries(need_salt=stale_salts):
+            outcome.examined += 1
+            doomed = \
+                (stale_salts and entry.salt != EXHIBIT_RENDER_SALT) or \
+                (cutoff is not None and entry.mtime < cutoff)
+            if not doomed:
+                outcome.kept += 1
+                continue
+            if not dry_run:
+                try:
+                    os.unlink(entry.path)
+                except OSError:
+                    outcome.kept += 1
+                    continue
+            outcome.removed += 1
+            outcome.bytes_freed += entry.size_bytes
+        return outcome

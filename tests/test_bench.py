@@ -100,6 +100,41 @@ class TestReports:
         lines = bench.compare_summary(report, reference)
         assert len(lines) == 1 and "4.00x" in lines[0]
 
+    def test_compare_summary_warns_on_missing_cells(self, report):
+        """A reference recorded before a cell existed (or a quick run
+        diffed against a full report) warns per side and diffs the
+        intersection — never a lookup error."""
+        reference = json.loads(json.dumps(report))
+        reference["cells"]["retired-cell"] = dict(
+            reference["cells"]["tiny-stall"])
+        del reference["cells"]["tiny-stall"]
+        lines = bench.compare_summary(report, reference)
+        assert any("tiny-stall" in line and "absent" in line
+                   for line in lines)
+        assert any("retired-cell" in line and "not in this run" in line
+                   for line in lines)
+        assert not any("x vs reference" in line for line in lines)
+
+    def test_macro_counters_in_report(self, report):
+        """Macro-step speculation accounting rides along in every
+        report entry and the rendered table."""
+        entry = report["cells"]["tiny-stall"]
+        assert entry["macro_steps"] >= 0
+        assert entry["macro_insts"] >= entry["macro_steps"]
+        assert entry["macro_guard_aborts"] >= 0
+        assert isinstance(entry["macro_abort_causes"], dict)
+        rendered = bench.render_report(report)
+        assert "macro" in rendered and "aborts" in rendered
+
+    def test_render_tolerates_pre_speculation_reports(self, report):
+        """Reports recorded before the macro columns existed render
+        with placeholders, not KeyError."""
+        legacy = json.loads(json.dumps(report))
+        for key in ("macro_steps", "macro_insts", "macro_guard_aborts",
+                    "macro_abort_causes"):
+            del legacy["cells"]["tiny-stall"][key]
+        assert "tiny-stall" in bench.render_report(legacy)
+
 
 class TestBenchCli:
     def test_cli_runs_and_checks(self, tmp_path, monkeypatch, capsys):

@@ -11,7 +11,9 @@ import pytest
 from repro.cli import main
 from repro.core.processor import SimResult
 from repro.core.stats import ThreadStats
-from repro.sim.store import CODE_VERSION_SALT, DiskStore
+from repro.sim.store import (CODE_VERSION_SALT, EXHIBIT_DIR,
+                             EXHIBIT_RENDER_SALT, DiskStore,
+                             ExhibitRenderCache)
 
 
 def tiny_result(policy: str = "icount") -> SimResult:
@@ -138,3 +140,106 @@ class TestCacheCli:
     def test_missing_dir_errors(self, tmp_path):
         assert main(["cache", "stats", "--cache-dir",
                      str(tmp_path / "absent")]) == 2
+
+
+def populate_render_cache(cache: ExhibitRenderCache, keys,
+                          salt=None) -> None:
+    """Write renderings, optionally rewriting their payload salt."""
+    for key in keys:
+        cache.put(key, {"exhibit": "Figure 1", "title": "t",
+                        "data": {}, "sections": []})
+        if salt is not None:
+            path = cache._path(key)
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            payload["salt"] = salt
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+
+
+RENDER_KEYS_NOW = ["ca" + "0" * 62]
+RENDER_KEYS_OLD = ["cb" + "0" * 62, "cc" + "0" * 62]
+
+
+class TestRenderCachePool:
+    def test_stats_group_by_render_salt(self, tmp_path):
+        cache = ExhibitRenderCache(str(tmp_path / EXHIBIT_DIR))
+        populate_render_cache(cache, RENDER_KEYS_NOW)
+        populate_render_cache(cache, RENDER_KEYS_OLD,
+                              salt="exhibit-render-v0")
+        stats = cache.stats()
+        assert stats["entries"] == 3
+        assert stats["current_salt"] == EXHIBIT_RENDER_SALT
+        assert stats["by_salt"][EXHIBIT_RENDER_SALT]["entries"] == 1
+        assert stats["by_salt"]["exhibit-render-v0"]["entries"] == 2
+
+    def test_prune_stale_render_salts(self, tmp_path):
+        cache = ExhibitRenderCache(str(tmp_path / EXHIBIT_DIR))
+        populate_render_cache(cache, RENDER_KEYS_NOW)
+        populate_render_cache(cache, RENDER_KEYS_OLD,
+                              salt="exhibit-render-v0")
+        outcome = cache.prune(stale_salts=True)
+        assert (outcome.examined, outcome.removed,
+                outcome.kept) == (3, 2, 1)
+        assert cache.get(RENDER_KEYS_NOW[0]) is not None
+        assert cache.get(RENDER_KEYS_OLD[0]) is None
+
+    def test_prune_by_age_and_dry_run(self, tmp_path):
+        cache = ExhibitRenderCache(str(tmp_path / EXHIBIT_DIR))
+        populate_render_cache(cache, RENDER_KEYS_NOW + RENDER_KEYS_OLD)
+        old_path = cache._path(RENDER_KEYS_OLD[0])
+        two_weeks = time.time() - 14 * 86400
+        os.utime(old_path, (two_weeks, two_weeks))
+        preview = cache.prune(older_than_days=7, dry_run=True)
+        assert preview.removed == 1
+        assert os.path.exists(old_path)
+        outcome = cache.prune(older_than_days=7)
+        assert (outcome.removed, outcome.kept) == (1, 2)
+        assert not os.path.exists(old_path)
+
+    def test_requires_a_criterion(self, tmp_path):
+        with pytest.raises(ValueError):
+            ExhibitRenderCache(str(tmp_path / EXHIBIT_DIR)).prune()
+
+    def test_result_store_scan_skips_render_pool(self, tmp_path):
+        store = DiskStore(str(tmp_path))
+        populate(store, KEYS_NOW)
+        cache = ExhibitRenderCache(str(tmp_path / EXHIBIT_DIR))
+        populate_render_cache(cache, RENDER_KEYS_NOW)
+        assert store.stats()["entries"] == 2
+        assert cache.stats()["entries"] == 1
+
+
+class TestCacheCliBothPools:
+    def test_stats_report_both_pools(self, tmp_path, capsys):
+        populate(DiskStore(str(tmp_path)), KEYS_NOW)
+        cache = ExhibitRenderCache(str(tmp_path / EXHIBIT_DIR))
+        populate_render_cache(cache, RENDER_KEYS_NOW)
+        assert main(["cache", "stats", "--cache-dir",
+                     str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "render cache" in out
+        assert EXHIBIT_RENDER_SALT in out
+
+    def test_stats_without_render_pool(self, tmp_path, capsys):
+        populate(DiskStore(str(tmp_path)), KEYS_NOW)
+        assert main(["cache", "stats", "--cache-dir",
+                     str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "render cache: none" in out
+        # stats must not create the pool as a side effect
+        assert not os.path.isdir(tmp_path / EXHIBIT_DIR)
+
+    def test_prune_covers_both_pools(self, tmp_path, capsys):
+        populate(DiskStore(str(tmp_path)), KEYS_OLD_SALT,
+                 salt="sim-engine-v0")
+        cache = ExhibitRenderCache(str(tmp_path / EXHIBIT_DIR))
+        populate_render_cache(cache, RENDER_KEYS_OLD,
+                              salt="exhibit-render-v0")
+        assert main(["cache", "prune", "--cache-dir", str(tmp_path),
+                     "--stale-salts"]) == 0
+        out = capsys.readouterr().out
+        assert "removed 3 of 3" in out
+        assert "prune (render cache): removed 2 of 2" in out
+        assert DiskStore(str(tmp_path)).stats()["entries"] == 0
+        assert cache.stats()["entries"] == 0

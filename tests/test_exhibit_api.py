@@ -368,4 +368,8 @@ class TestRenderCache:
             json.loads(json.dumps(result.to_dict())))
         for fmt in ("text", "json", "csv"):
             assert clone.render(fmt) == result.render(fmt)
-        assert clone.data == {}  # rich values are not serialized
+        # data rehydrates from the serialized payload: same keys and
+        # values in their canonical JSON-safe projection, so cache hits
+        # are sliceable programmatically without a full assembly.
+        assert clone.data == json.loads(json.dumps(result.payload))
+        assert clone.data is not clone.payload  # independent copies

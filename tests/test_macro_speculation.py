@@ -1,0 +1,214 @@
+"""Macro-step speculation: on-vs-off bit-identity fuzz + guard edges.
+
+The macro-step layer (see :meth:`SMTPipeline._macro_dispatch`) promises
+bit-identity *by construction*: every entry guard is checked before any
+machine state is touched, and the fused loop's net per-instruction side
+effects mirror the per-stage path exactly.  This suite is the promise's
+enforcement:
+
+* a seeded fuzz matrix (1/2/4 threads x all registered policies,
+  mirroring ``tests/test_advance_equivalence.py``) compares the full
+  canonical ``SimResult.to_dict()`` with speculation forced on vs off;
+* targeted edge tests pin the guard/abort seams — a mispredicted branch
+  redirect landing mid-run, MSHR-full load requeues inside a fused run,
+  and runahead entry/exit falling on a run boundary — each with its
+  premise asserted so a regressed workload cannot silently hollow the
+  test out;
+* the compiled JIT tier is forced (threshold patched to 1) so its
+  specialized handlers are exercised even at test-sized pass counts.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+import repro.core.pipeline as pipeline_mod
+from repro.config import SPECULATE_ENV_VAR, baseline, speculation_mode
+from repro.core.processor import SMTProcessor
+from repro.errors import ConfigError
+from repro.policies.registry import policy_names
+from repro.trace.generator import generate_trace
+from repro.trace.profiles import ilp_benchmarks, mem_benchmarks
+
+#: Seeded deterministically; change the seed only with a reason.
+_RNG_SEED = 20260806
+
+THREAD_COUNTS = (1, 2, 4)
+
+
+def _random_cells():
+    """One (threads, policy, benchmarks, trace_len, seed) cell per
+    (thread count, policy) pair, drawn from a fixed-seed RNG."""
+    rng = random.Random(_RNG_SEED)
+    mem = list(mem_benchmarks())
+    ilp = list(ilp_benchmarks())
+    cells = []
+    for threads in THREAD_COUNTS:
+        for policy in policy_names():
+            # First slot MEM-class so runahead/MSHR machinery engages.
+            names = [rng.choice(mem)]
+            names += [rng.choice(mem + ilp) for _ in range(threads - 1)]
+            trace_len = rng.randrange(200, 401, 50)
+            seed = rng.randrange(1, 1000)
+            cells.append((threads, policy, tuple(names), trace_len, seed))
+    return cells
+
+
+CELLS = _random_cells()
+
+
+def _run(policy, benchmarks, trace_len, seed, speculate,
+         **config_overrides):
+    traces = [generate_trace(name, trace_len, seed)
+              for name in benchmarks]
+    config = baseline().with_policy(policy, **config_overrides)
+    processor = SMTProcessor(config, traces)
+    # Force the layer on/off directly (the 'on'/'off' env modes); the
+    # fuzz must cover opaque policies too, which 'auto' would veto.
+    processor.pipeline.macro_spec = speculate
+    result = processor.run(min_passes=1, max_cycles=200_000)
+    return result, processor.pipeline
+
+
+@pytest.mark.parametrize(
+    "threads,policy,benchmarks,trace_len,seed", CELLS,
+    ids=[f"{t}x-{p}-{'+'.join(b)}-len{n}-s{s}"
+         for t, p, b, n, s in CELLS])
+def test_speculation_on_matches_off(threads, policy, benchmarks,
+                                    trace_len, seed):
+    plain, _ = _run(policy, benchmarks, trace_len, seed, False)
+    fused, pipeline = _run(policy, benchmarks, trace_len, seed, True)
+    assert fused.to_dict() == plain.to_dict(), (
+        f"speculation divergence: {threads} threads, policy {policy}, "
+        f"workload {benchmarks}, trace_len {trace_len}, seed {seed} "
+        f"({pipeline.gstats.macro_insts} insts in "
+        f"{pipeline.gstats.macro_steps} macro-steps, aborts "
+        f"{pipeline.gstats.macro_abort_causes})")
+
+
+def test_fuzz_matrix_actually_speculates():
+    """Premise guard for the whole matrix: the fused path must really
+    run somewhere, or the fuzz proves nothing."""
+    total_steps = 0
+    for _threads, policy, benchmarks, trace_len, seed in CELLS[:8]:
+        _, pipeline = _run(policy, benchmarks, trace_len, seed, True)
+        total_steps += pipeline.gstats.macro_steps
+    assert total_steps > 0, (
+        "no cell of the fuzz matrix ever took a macro step; the "
+        "speculation layer is not being exercised")
+
+
+# --- guard/abort edge cases -------------------------------------------------
+
+
+def _identical(policy, benchmarks, trace_len, seed, **overrides):
+    """Run one cell both ways; return the speculating pipeline."""
+    plain, _ = _run(policy, benchmarks, trace_len, seed, False,
+                    **overrides)
+    fused, pipeline = _run(policy, benchmarks, trace_len, seed, True,
+                           **overrides)
+    assert fused.to_dict() == plain.to_dict()
+    return pipeline
+
+
+def test_mispredicted_branch_mid_run():
+    """A mispredict redirect squashes the fetch queue between macro
+    runs; the desync/entry guards must keep every later run coherent."""
+    pipeline = _identical("icount", ("art", "mcf"), 400, 11)
+    predictor = pipeline.predictor
+    assert predictor.mispredictions > 0, (
+        "test premise broken: no branch ever mispredicted; pick "
+        "another workload/seed")
+    assert pipeline.gstats.macro_steps > 0, (
+        "test premise broken: no macro step ran alongside the "
+        "mispredicts")
+
+
+def test_mshr_full_requeue_inside_macro_run():
+    """A tiny MSHR file forces load reject/requeue windows while fused
+    runs keep dispatching into the LS queue."""
+    pipeline = _identical("rat", ("art", "mcf"), 400, 7,
+                          mshr_entries=2)
+    assert pipeline.mem.mshr.rejects > 0, (
+        "test premise broken: no load was ever rejected; shrink "
+        "mshr_entries further")
+    assert pipeline.gstats.macro_steps > 0
+
+
+def test_runahead_entry_exit_on_run_boundary():
+    """Runahead entry (at commit) and exit (checkpoint restore) bracket
+    fused runs; the mode flip must not leak between the demand tables
+    (normal vs runahead) of adjacent runs."""
+    pipeline = _identical("rat", ("mcf", "art"), 400, 3)
+    episodes = sum(thread.stats.runahead_episodes
+                   for thread in pipeline.threads)
+    assert episodes > 0, (
+        "test premise broken: no runahead episode; pick a longer or "
+        "more memory-bound workload")
+    assert pipeline.gstats.macro_steps > 0
+
+
+def test_jit_tier_forced(monkeypatch):
+    """Threshold 1 compiles every full-length hot plan, so the
+    specialized handlers (not just the generic fused loop) are what
+    must match the per-stage path."""
+    monkeypatch.setattr(pipeline_mod, "_JIT_THRESHOLD", 1)
+    pipeline = _identical("rat", ("art", "mcf"), 400, 7)
+    compiled = sum(
+        1
+        for thread in pipeline.threads
+        for plan in thread.macro_plans.values()
+        if plan is not None
+        and (plan.jit_normal is not None
+             or plan.jit_runahead is not None))
+    assert compiled > 0, (
+        "test premise broken: threshold 1 compiled no handler; did "
+        "the JIT tier's trigger move?")
+
+
+def test_truncated_runs_dispatch_partially():
+    """Resource-squeezed guards shrink a run to the covered prefix
+    instead of aborting it outright (and stay bit-identical)."""
+    # A small ROB/IQ keeps headroom chronically below full run length.
+    pipeline = _identical("rat", ("art", "mcf"), 400, 7,
+                          rob_size=24, ls_iq_size=6)
+    assert pipeline.gstats.macro_steps > 0
+
+
+# --- the environment knob ---------------------------------------------------
+
+
+def test_speculation_mode_env_values(monkeypatch):
+    monkeypatch.delenv(SPECULATE_ENV_VAR, raising=False)
+    assert speculation_mode() == "auto"
+    for value in ("on", "off", "auto", " ON "):
+        monkeypatch.setenv(SPECULATE_ENV_VAR, value)
+        assert speculation_mode() == value.strip().lower()
+    monkeypatch.setenv(SPECULATE_ENV_VAR, "sometimes")
+    with pytest.raises(ConfigError):
+        speculation_mode()
+
+
+def test_cli_speculate_flag_sets_env(monkeypatch):
+    import os
+
+    from repro.cli import _apply_speculate, build_parser
+    monkeypatch.delenv(SPECULATE_ENV_VAR, raising=False)
+    args = build_parser().parse_args(["table1", "--speculate", "off"])
+    _apply_speculate(args)
+    assert os.environ[SPECULATE_ENV_VAR] == "off"
+    # absent flag leaves the environment alone
+    monkeypatch.delenv(SPECULATE_ENV_VAR, raising=False)
+    _apply_speculate(build_parser().parse_args(["table1"]))
+    assert SPECULATE_ENV_VAR not in os.environ
+
+
+def test_env_off_disables_layer(monkeypatch):
+    monkeypatch.setenv(SPECULATE_ENV_VAR, "off")
+    traces = [generate_trace("mcf", 200, 1)]
+    processor = SMTProcessor(baseline().with_policy("rat"), traces)
+    assert processor.pipeline.macro_spec is False
+    processor.run(min_passes=1, max_cycles=200_000)
+    assert processor.pipeline.gstats.macro_steps == 0
