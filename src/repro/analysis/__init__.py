@@ -1,0 +1,41 @@
+"""Static analysis of the repro package (``repro lint``).
+
+The subsystem machine-checks the invariants the rest of the repo only
+documented: determinism of the simulation packages, the
+salt-bump-on-semantic-change policy of the content-addressed stores,
+the pipeline's hook opt-in contracts, the PR 3/4 hot-path discipline,
+and the digest classification of every stats slot.
+
+Layout mirrors the package's other registries:
+
+- :mod:`repro.analysis.registry` — ``@rule`` registration;
+- :mod:`repro.analysis.model` — findings, options, context, report;
+- :mod:`repro.analysis.engine` — :func:`run_lint`;
+- :mod:`repro.analysis.cli` — the ``repro lint`` subcommand;
+- one module per rule (:mod:`determinism <repro.analysis.determinism>`,
+  :mod:`fingerprint <repro.analysis.fingerprint>`,
+  :mod:`hooks <repro.analysis.hooks>`,
+  :mod:`hotpath <repro.analysis.hotpath>`,
+  :mod:`digests <repro.analysis.digests>`);
+- ``fingerprints.json`` — the pinned normalized-AST baseline.
+"""
+
+from .engine import default_root, run_lint
+from .model import Finding, LintContext, LintOptions, LintReport
+from .registry import (LintRuleError, Rule, create_rules,
+                       rule, rule_descriptions, rule_names)
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "LintOptions",
+    "LintReport",
+    "LintRuleError",
+    "Rule",
+    "create_rules",
+    "default_root",
+    "rule",
+    "rule_descriptions",
+    "rule_names",
+    "run_lint",
+]

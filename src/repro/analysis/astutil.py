@@ -1,0 +1,92 @@
+"""Small AST helpers shared by the lint rules.
+
+Nothing here imports the linted modules: rules resolve names purely
+lexically (import-alias expansion plus attribute-chain spelling), which
+is exactly as strong as the invariants they check — a hazard smuggled
+through ``getattr`` games is out of scope by design.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Tuple
+
+
+def parent_map(tree: ast.AST) -> Dict[ast.AST, ast.AST]:
+    """Child node -> parent node, for upward looks (e.g. call wrapping)."""
+    parents: Dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def dotted(node: ast.AST) -> Optional[str]:
+    """The literal dotted spelling of a Name/Attribute chain, if it is one."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+class ImportMap:
+    """Local name -> dotted origin, from a module's import statements.
+
+    ``import numpy as np`` maps ``np`` to ``numpy``; ``from os import
+    listdir as ld`` maps ``ld`` to ``os.listdir``; ``import os.path``
+    maps ``os`` to ``os``.  Relative imports (``from . import x``) stay
+    unmapped — they cannot reach the stdlib modules the rules look for.
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self._origins: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    origin = (alias.name if alias.asname
+                              else alias.name.split(".")[0])
+                    self._origins[local] = origin
+            elif isinstance(node, ast.ImportFrom) and node.level == 0 \
+                    and node.module:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self._origins[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Canonical dotted origin of a Name/Attribute chain.
+
+        The chain's root name is expanded through the import table, so
+        ``np.random.default_rng`` resolves to
+        ``numpy.random.default_rng`` under ``import numpy as np``.
+        """
+        spelling = dotted(node)
+        if spelling is None:
+            return None
+        root, _, rest = spelling.partition(".")
+        origin = self._origins.get(root)
+        if origin is None:
+            return spelling
+        return f"{origin}.{rest}" if rest else origin
+
+
+def iter_functions(tree: ast.Module
+                   ) -> Iterator[Tuple[str, ast.AST]]:
+    """Yield ``(qualname, node)`` for every function/method in a module.
+
+    Qualnames are dotted through enclosing classes and functions
+    (``SMTPipeline._commit_thread``), matching the hot-list spelling.
+    """
+    def visit(node: ast.AST, prefix: str) -> Iterator[Tuple[str, ast.AST]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{child.name}"
+                yield qualname, child
+                yield from visit(child, f"{qualname}.")
+            elif isinstance(child, ast.ClassDef):
+                yield from visit(child, f"{prefix}{child.name}.")
+    yield from visit(tree, "")

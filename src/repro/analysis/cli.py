@@ -1,0 +1,91 @@
+"""``repro lint`` — machine-check the repo's reproducibility invariants.
+
+Exit codes: 0 = clean (warnings allowed), 1 = lint errors, 2 = usage
+error.  ``--format json`` emits the stable document CI validates (see
+``LintReport.to_dict``); ``--accept-fingerprints`` re-pins the
+normalized-AST baseline after a reviewed salt bump or a verified
+bit-identical refactor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .engine import default_root, run_lint
+from .model import LintOptions
+from .registry import LintRuleError, rule_descriptions, rule_names
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=("Static analysis of the repro package: determinism, "
+                     "salt-bump discipline, hook conformance, hot-path "
+                     "hygiene and digest safety."))
+    parser.add_argument(
+        "--root", default=None, metavar="DIR",
+        help=("package root to lint (default: the installed repro "
+              "package)"))
+    parser.add_argument(
+        "--rules", default=None, metavar="NAME[,NAME...]",
+        help="comma-separated subset of rules to run (default: all)")
+    parser.add_argument(
+        "--format", dest="fmt", choices=("text", "json"), default="text",
+        help="report format (json is the CI-validated document)")
+    parser.add_argument(
+        "--accept-fingerprints", action="store_true",
+        help=("re-pin analysis/fingerprints.json to the current tree "
+              "instead of checking it"))
+    parser.add_argument(
+        "--fingerprints", default=None, metavar="FILE",
+        help=("fingerprint pins file (default: "
+              "<root>/analysis/fingerprints.json)"))
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit")
+    return parser
+
+
+def lint_main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        descriptions = rule_descriptions()
+        width = max(len(name) for name in descriptions)
+        for name in rule_names():
+            print(f"{name:<{width}}  {descriptions[name]}")
+        return 0
+
+    rules = None
+    if args.rules is not None:
+        rules = [name.strip() for name in args.rules.split(",")
+                 if name.strip()]
+        if not rules:
+            print("repro lint: --rules given but empty", file=sys.stderr)
+            return 2
+
+    options = LintOptions(
+        rules=rules,
+        accept_fingerprints=args.accept_fingerprints,
+        fingerprints_path=args.fingerprints,
+    )
+    try:
+        report = run_lint(args.root if args.root else default_root(),
+                          options)
+    except LintRuleError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.fmt == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=False))
+    else:
+        print(report.render_text())
+    return report.exit_code()
+
+
+if __name__ == "__main__":   # pragma: no cover - exercised via repro CLI
+    sys.exit(lint_main())

@@ -1,0 +1,134 @@
+"""Rule ``digest-safety``: every stats slot is classified, on purpose.
+
+The golden-digest regime (tier-1's 16 pinned digests) certifies
+:class:`~repro.core.processor.SimResult`, and per-thread counters are
+part of it — adding a :class:`~repro.core.stats.ThreadStats` field
+changes ``to_dict()`` and therefore every digest and every store
+payload.  :class:`~repro.core.stats.GlobalStats` is the opposite: a
+declared diagnostics surface that may grow freely.  That split used to
+live in two docstrings; this rule makes it a checked declaration:
+
+* ``core/stats.py`` must declare ``THREAD_DIGEST_FIELDS`` (the
+  digest-participating slots — exactly the ``ThreadStats`` fields) and
+  ``DIGEST_SAFE_DIAGNOSTICS`` (the digest-exempt slots — exactly the
+  ``GlobalStats`` fields);
+* **every** field of each dataclass must appear in its class's
+  declaration — a new counter forces its author to say which side of
+  the digest boundary it lands on (a diagnostic belongs in
+  ``GlobalStats``; a digest-participating counter in ``ThreadStats``
+  plus a salt bump and re-pinned goldens);
+* a declared name with no matching field is equally an error (stale
+  declarations hide real drift).
+
+``tests/test_lint.py`` additionally pins that the declarations agree
+with the *runtime* dataclasses, so the static view cannot rot.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+from .model import Finding, LintContext
+from .registry import Rule, rule
+
+#: Where the stats dataclasses and their classifications live.
+STATS_MODULE = "core/stats.py"
+
+#: Stats class -> (its classification tuple, what membership means).
+CLASS_DECLARATIONS = {
+    "ThreadStats": ("THREAD_DIGEST_FIELDS", "digest-participating"),
+    "GlobalStats": ("DIGEST_SAFE_DIAGNOSTICS", "digest-exempt"),
+}
+
+
+def _declared_tuple(tree: ast.Module, name: str
+                    ) -> Optional[Tuple[int, List[str]]]:
+    """``(lineno, names)`` of a module-level ``NAME = ("a", "b", ...)``."""
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name) \
+                and node.targets[0].id == name:
+            value = node.value
+            if isinstance(value, (ast.Tuple, ast.List)):
+                names = []
+                for element in value.elts:
+                    if isinstance(element, ast.Constant) \
+                            and isinstance(element.value, str):
+                        names.append(element.value)
+                    else:
+                        return None
+                return node.lineno, names
+    return None
+
+
+def _class_fields(tree: ast.Module, class_name: str
+                  ) -> Optional[Dict[str, int]]:
+    """``{field: lineno}`` for a dataclass's annotated class-level
+    fields (ClassVar-annotated names are not fields)."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == class_name:
+            fields: Dict[str, int] = {}
+            for stmt in node.body:
+                if isinstance(stmt, ast.AnnAssign) \
+                        and isinstance(stmt.target, ast.Name):
+                    if "ClassVar" in ast.dump(stmt.annotation):
+                        continue
+                    fields[stmt.target.id] = stmt.lineno
+            return fields
+    return None
+
+
+@rule
+class DigestSafetyRule(Rule):
+    name = "digest-safety"
+    description = ("every ThreadStats/GlobalStats field must be "
+                   "classified: THREAD_DIGEST_FIELDS (feeds result "
+                   "digests) or DIGEST_SAFE_DIAGNOSTICS (digest-exempt)")
+
+    def run(self, ctx: LintContext) -> List[Finding]:
+        source = ctx.file(STATS_MODULE)
+        if source is None:
+            return [Finding(
+                rule=self.name, path=STATS_MODULE, line=1,
+                message=(f"{STATS_MODULE} not found — the digest-safety "
+                         "rule needs the stats module to classify"))]
+        tree = source.tree
+        findings: List[Finding] = []
+        for class_name in sorted(CLASS_DECLARATIONS):
+            declaration, meaning = CLASS_DECLARATIONS[class_name]
+            fields = _class_fields(tree, class_name)
+            if fields is None:
+                findings.append(Finding(
+                    rule=self.name, path=STATS_MODULE, line=1,
+                    message=(f"dataclass {class_name!r} not found in "
+                             f"{STATS_MODULE}")))
+                continue
+            declared = _declared_tuple(tree, declaration)
+            if declared is None:
+                findings.append(Finding(
+                    rule=self.name, path=STATS_MODULE, line=1,
+                    message=(f"{STATS_MODULE} must declare "
+                             f"{declaration} as a module-level tuple of "
+                             f"{class_name} field-name strings")))
+                continue
+            decl_line, names = declared
+            declared_set = set(names)
+            for field in sorted(set(fields) - declared_set):
+                findings.append(Finding(
+                    rule=self.name, path=STATS_MODULE,
+                    line=fields[field],
+                    message=(f"{class_name}.{field} is not classified — "
+                             f"every {class_name} slot is {meaning}; "
+                             f"add it to {declaration} (and, for "
+                             "THREAD_DIGEST_FIELDS, bump "
+                             "CODE_VERSION_SALT and re-pin the golden "
+                             "digests) or move a pure diagnostic to "
+                             "the other stats class")))
+            for name in sorted(declared_set - set(fields)):
+                findings.append(Finding(
+                    rule=self.name, path=STATS_MODULE, line=decl_line,
+                    message=(f"{declaration} names {name!r} which is "
+                             f"not a field of {class_name} — remove "
+                             "the stale declaration")))
+        return findings

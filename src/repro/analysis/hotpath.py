@@ -1,0 +1,188 @@
+"""Rule ``hot-path-hygiene``: keep the inlined fast paths fast.
+
+PR 3/4 bought their 2-3x on the simulator core with a specific
+discipline inside the per-instruction hot functions: no
+raise-and-catch control flow (``try`` bodies cost a setup per entry and
+an exception per miss), no per-iteration closure allocation, and no
+attribute chain resolved twice in the same loop when a local would do.
+Nothing enforced that discipline — a well-meaning edit could quietly
+hand back the win.  This rule pins it for the functions on the
+:data:`HOT_FUNCTIONS` list (the PR 3/4 inlined fast paths; extend the
+list when a new fast path lands):
+
+* a ``try`` statement anywhere in a hot function;
+* a ``lambda``/nested ``def`` inside one of its loops (a fresh function
+  object per iteration);
+* the same >=2-hop attribute chain (``self.mem.data_access_packed``)
+  loaded more than once inside one loop — hoist it to a local before
+  the loop, as every surrounding fast path already does.
+
+The rule is a guard for *listed* functions only: code off the hot list
+may trade these points for readability freely.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Sequence, Tuple
+
+from .astutil import dotted, iter_functions
+from .model import Finding, LintContext
+from .registry import Rule, rule
+
+#: The guarded fast paths: (module relpath, dotted qualname).  These are
+#: the PR 3/4 per-instruction/per-cycle workhorses — the functions the
+#: bench matrix times and the macro-step layer fuses over.
+HOT_FUNCTIONS: Tuple[Tuple[str, str], ...] = (
+    ("core/pipeline.py", "SMTPipeline.step"),
+    ("core/pipeline.py", "SMTPipeline._process_events"),
+    ("core/pipeline.py", "SMTPipeline._commit_thread"),
+    ("core/pipeline.py", "SMTPipeline._issue_stage"),
+    ("core/pipeline.py", "SMTPipeline._dispatch_stage"),
+    ("core/pipeline.py", "SMTPipeline._macro_dispatch"),
+    ("core/pipeline.py", "SMTPipeline._dispatch"),
+    ("core/pipeline.py", "SMTPipeline._fetch_stage"),
+    ("core/pipeline.py", "SMTPipeline._fetch_thread"),
+    ("core/pipeline.py", "SMTPipeline._skip_target"),
+    ("core/issue_queue.py", "IssueQueue.has_ready"),
+    ("core/issue_queue.py", "IssueQueue.take_ready"),
+    ("core/issue_queue.py", "IssueQueue.next_ready_cycle"),
+    ("mem/cache.py", "Cache.lookup"),
+    ("mem/hierarchy.py", "MemoryHierarchy.data_access_packed"),
+    ("mem/mshr.py", "MSHRFile.expire"),
+    ("branch/perceptron.py", "PerceptronPredictor.predict"),
+    ("core/thread.py", "ThreadContext.next_inst"),
+    ("sim/fame.py", "fame_run"),
+)
+
+#: Minimum attribute hops for the re-resolution check: ``obj.attr`` is
+#: one lookup a local rarely beats; ``obj.attr.attr`` re-walks two
+#: dictionaries per resolution.
+_MIN_HOPS = 2
+
+
+def _chain_hops(node: ast.Attribute) -> int:
+    hops = 0
+    while isinstance(node, ast.Attribute):
+        hops += 1
+        node = node.value
+    return hops if isinstance(node, ast.Name) else 0
+
+
+class _LoopChains(ast.NodeVisitor):
+    """Collect loaded attribute-chain spellings per loop subtree."""
+
+    def __init__(self) -> None:
+        self.loops: List[Tuple[ast.AST, Dict[str, List[int]]]] = []
+        self.closures: List[ast.AST] = []
+        self._stack: List[Dict[str, List[int]]] = []
+
+    def _enter_loop(self, node: ast.AST) -> None:
+        chains: Dict[str, List[int]] = {}
+        self.loops.append((node, chains))
+        self._stack.append(chains)
+        self.generic_visit(node)
+        self._stack.pop()
+
+    visit_For = visit_While = _enter_loop
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if self._stack and isinstance(node.ctx, ast.Load) \
+                and _chain_hops(node) >= _MIN_HOPS:
+            spelling = dotted(node)
+            if spelling is not None:
+                for chains in self._stack:
+                    chains.setdefault(spelling, []).append(node.lineno)
+                # Only the outermost chain counts; inner Attribute
+                # nodes are part of this spelling, not new loads.
+                return
+        self.generic_visit(node)
+
+    def _enter_closure(self, node: ast.AST) -> None:
+        if self._stack:
+            self.closures.append(node)
+        # Still walk the body: chains inside a closure inside a loop
+        # are that closure's problem, not the loop's — skip them.
+
+    visit_Lambda = _enter_closure
+    visit_FunctionDef = _enter_closure
+    visit_AsyncFunctionDef = _enter_closure
+
+
+@rule
+class HotPathRule(Rule):
+    name = "hot-path-hygiene"
+    description = ("hot-listed fast paths may not contain try blocks, "
+                   "per-iteration closures, or re-resolved attribute "
+                   "chains in their loops")
+
+    def run(self, ctx: LintContext) -> List[Finding]:
+        hot_list = ctx.options.hot_list
+        if hot_list is None:
+            hot_list = HOT_FUNCTIONS
+        findings: List[Finding] = []
+        by_file: Dict[str, List[str]] = {}
+        for relpath, qualname in hot_list:
+            by_file.setdefault(relpath, []).append(qualname)
+        for relpath in sorted(by_file):
+            source = ctx.file(relpath)
+            if source is None:
+                findings.append(Finding(
+                    rule=self.name, path=relpath, line=1,
+                    message=(f"hot-list module {relpath!r} not found — "
+                             "update analysis/hotpath.py HOT_FUNCTIONS "
+                             "when moving a fast path")))
+                continue
+            functions = dict(iter_functions(source.tree))
+            for qualname in sorted(by_file[relpath]):
+                node = functions.get(qualname)
+                if node is None:
+                    findings.append(Finding(
+                        rule=self.name, path=relpath, line=1,
+                        message=(f"hot-list function {qualname!r} not "
+                                 f"found in {relpath} — update "
+                                 "analysis/hotpath.py HOT_FUNCTIONS "
+                                 "when renaming a fast path")))
+                    continue
+                findings.extend(
+                    self._check_function(source.relpath, qualname, node))
+        return findings
+
+    def _check_function(self, relpath: str, qualname: str,
+                        node: ast.AST) -> List[Finding]:
+        findings: List[Finding] = []
+        for child in ast.walk(node):
+            if isinstance(child, ast.Try) and child is not node:
+                findings.append(Finding(
+                    rule=self.name, path=relpath, line=child.lineno,
+                    message=(f"try block inside hot function "
+                             f"{qualname!r} — the fast paths are "
+                             "exception-free by design (PR 3/4); "
+                             "restructure with a membership/size test")))
+        collector = _LoopChains()
+        for stmt in node.body:
+            collector.visit(stmt)
+        for closure in collector.closures:
+            label = getattr(closure, "name", "<lambda>")
+            findings.append(Finding(
+                rule=self.name, path=relpath, line=closure.lineno,
+                message=(f"closure {label!r} allocated inside a loop of "
+                         f"hot function {qualname!r} — a fresh function "
+                         "object per iteration; hoist it out of the "
+                         "loop")))
+        reported = set()
+        for _loop, chains in collector.loops:
+            for spelling in sorted(chains):
+                lines = chains[spelling]
+                if len(lines) >= 2 and spelling not in reported:
+                    reported.add(spelling)
+                    findings.append(Finding(
+                        rule=self.name, path=relpath, line=lines[0],
+                        message=(f"attribute chain {spelling!r} "
+                                 f"resolved {len(lines)}x inside one "
+                                 f"loop of hot function {qualname!r} "
+                                 "(lines "
+                                 f"{', '.join(map(str, lines))}) — "
+                                 "hoist it to a local before the "
+                                 "loop")))
+        return findings

@@ -1,0 +1,75 @@
+"""Per-line lint suppressions: ``# lint: disable=<rule>[,<rule>...]``.
+
+A finding is suppressed when the line it anchors to carries a disable
+comment naming its rule.  Suppressions are deliberately per-line and
+per-rule — there is no file- or block-scope form, so every accepted
+hazard is visible exactly where it lives (the ``time.time()`` prune
+defaults in ``sim/store.py`` are the canonical example).
+
+Every suppression must earn its keep: one that matches no finding of a
+rule that actually ran is itself reported (rule ``unused-suppression``),
+so stale disables cannot outlive the hazard they excused.  Suppressions
+naming rules that did not run this invocation are ignored, not counted
+as unused.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Sequence, Set, Tuple
+
+from .model import Finding, SourceFile
+
+#: The rule name findings about suppressions themselves are filed under.
+UNUSED_RULE = "unused-suppression"
+
+_DISABLE_RE = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_,\s-]+)")
+
+
+def file_suppressions(source: SourceFile) -> Dict[int, Set[str]]:
+    """Map 1-based line number -> rule names disabled on that line."""
+    table: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.lines, start=1):
+        match = _DISABLE_RE.search(line)
+        if match is None:
+            continue
+        names = {name.strip() for name in match.group(1).split(",")}
+        table[lineno] = {name for name in names if name}
+    return table
+
+
+def apply_suppressions(findings: List[Finding],
+                       sources: Sequence[SourceFile],
+                       ran_rules: Sequence[str],
+                       ) -> Tuple[List[Finding], int]:
+    """Drop suppressed findings; report unused suppressions.
+
+    Returns ``(kept_findings, suppressed_count)`` where ``kept``
+    includes one ``unused-suppression`` error per disable entry that
+    matched nothing (for rules in ``ran_rules`` only).
+    """
+    tables = {source.relpath: file_suppressions(source)
+              for source in sources}
+    ran = set(ran_rules)
+    kept: List[Finding] = []
+    used: Set[Tuple[str, int, str]] = set()
+    suppressed = 0
+    for finding in findings:
+        rules_here = tables.get(finding.path, {}).get(finding.line, set())
+        if finding.rule in rules_here:
+            used.add((finding.path, finding.line, finding.rule))
+            suppressed += 1
+        else:
+            kept.append(finding)
+    for relpath in sorted(tables):
+        for lineno in sorted(tables[relpath]):
+            for rule_name in sorted(tables[relpath][lineno]):
+                if rule_name not in ran:
+                    continue
+                if (relpath, lineno, rule_name) not in used:
+                    kept.append(Finding(
+                        rule=UNUSED_RULE, path=relpath, line=lineno,
+                        message=(f"suppression for {rule_name!r} matched "
+                                 f"no finding — remove it (stale "
+                                 f"disables hide future hazards)")))
+    return kept, suppressed

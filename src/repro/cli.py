@@ -15,13 +15,16 @@ Examples::
     repro-smt bench --quick --check benchmarks/BENCH_baseline.json
     repro-smt cache stats --cache-dir ~/.cache/repro-smt
     repro-smt cache prune --cache-dir ~/.cache/repro-smt --stale-salts
+    repro-smt lint --format json
+    repro-smt lint --accept-fingerprints
 
-Besides the exhibit names, three maintenance subcommands exist:
+Besides the exhibit names, four maintenance subcommands exist:
 ``plan`` emits a campaign's JSON manifest without running anything (see
 :mod:`repro.sim.manifest`), ``bench`` times representative simulation
 cells and emits a ``BENCH_<rev>.json`` report (see :mod:`repro.bench`),
-and ``cache`` inspects or prunes a ``--cache-dir`` result store (see
-:mod:`repro.sim.store`).
+``cache`` inspects or prunes a ``--cache-dir`` result store (see
+:mod:`repro.sim.store`), and ``lint`` statically checks the package's
+reproducibility invariants (see :mod:`repro.analysis`).
 
 However many exhibits are requested, their planned simulation cells are
 unioned into **one** deduplicated batch (costliest cells first), so
@@ -94,7 +97,9 @@ def build_parser() -> argparse.ArgumentParser:
         epilog="Maintenance subcommands: 'repro-smt plan --help' "
                "(emit a campaign's JSON manifest), 'repro-smt bench "
                "--help' (wall-clock benchmark harness), 'repro-smt "
-               "cache --help' (result-store stats / pruning).")
+               "cache --help' (result-store stats / pruning), "
+               "'repro-smt lint --help' (static reproducibility "
+               "checks).")
     parser.add_argument("exhibit",
                         choices=sorted(exhibit_names()) + ["all"],
                         help="which exhibit to regenerate ('all' plans "
@@ -481,9 +486,14 @@ def cache_main(argv: List[str]) -> int:
     return 0
 
 
+def lint_main(argv: List[str]) -> int:
+    from .analysis.cli import lint_main as run
+    return run(argv)
+
+
 #: Maintenance subcommands dispatched ahead of the exhibit interface.
 SUBCOMMANDS = {"plan": plan_main, "bench": bench_main,
-               "cache": cache_main}
+               "cache": cache_main, "lint": lint_main}
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -1,0 +1,88 @@
+"""The policy opt-in hook contracts, as one shared classifier.
+
+Two pipeline fast paths are gated on *opt-in declarations* from the
+fetch policy:
+
+* **cycle skipping** (:meth:`SMTPipeline.advance
+  <repro.core.pipeline.SMTPipeline.advance>`) trusts a policy's
+  :meth:`~repro.policies.base.FetchPolicy.skip_horizon` only when
+  whoever last overrode :meth:`~repro.policies.base.FetchPolicy.on_cycle`
+  also (re)declared the horizon — otherwise skipping could jump over
+  cycles the policy needed to observe;
+* **macro-step speculation** (``SMTPipeline._macro_dispatch`` under
+  ``REPRO_SPECULATE=auto``) trusts
+  :meth:`~repro.policies.base.FetchPolicy.macro_step_ok` only when
+  whoever last overrode the accounting hooks (:meth:`on_cycle` /
+  :meth:`on_l2_miss_detected`) also (re)declared the macro contract.
+
+Both are the same question over a class hierarchy: *walking from the
+most-derived class towards the base, does a contract declaration appear
+at or before the first trigger override?*  :func:`contract_covers`
+answers it over an abstract definition chain, so the exact same logic
+serves two consumers:
+
+* the **runtime auto-veto** at pipeline construction, which feeds it the
+  real MRO (:func:`mro_defined_chain`); and
+* the **static** ``hook-conformance`` lint rule
+  (:mod:`repro.analysis.hooks`), which feeds it a chain derived from the
+  AST of the policy sources.
+
+``tests/test_lint.py`` pins that the two agree on every registered
+policy.  Keep this module import-light (stdlib only): it is imported by
+both the simulator core and the static-analysis package.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set, Tuple
+
+#: Contract / trigger attribute names for the cycle-skipping opt-in.
+HORIZON_CONTRACT: Tuple[str, ...] = ("skip_horizon",)
+HORIZON_TRIGGERS: Tuple[str, ...] = ("on_cycle",)
+
+#: Contract / trigger attribute names for the macro-step opt-in.
+MACRO_CONTRACT: Tuple[str, ...] = ("macro_step_ok",)
+MACRO_TRIGGERS: Tuple[str, ...] = ("on_cycle", "on_l2_miss_detected")
+
+
+def contract_covers(defined_chain: Iterable[Set[str]],
+                    contract: Tuple[str, ...],
+                    triggers: Tuple[str, ...]) -> bool:
+    """Does a contract declaration cover every trigger override?
+
+    ``defined_chain`` is the per-class sets of attribute names a
+    hierarchy defines, ordered from the most-derived class to the base.
+    Walking it in order, a ``contract`` name seen at or before the first
+    ``triggers`` name means whoever last changed the triggered behaviour
+    also declared (or re-declared) the contract — the declaration is
+    *at or below* every live override.  A trigger seen first means the
+    most recent behaviour change carries no declaration, so the
+    conservative answer is False.  ``FetchPolicy`` itself defines both
+    contract and triggers, so hierarchies without overrides are
+    trivially covered (and an exhausted chain answers True).
+    """
+    for defined in defined_chain:
+        for name in contract:
+            if name in defined:
+                return True
+        for name in triggers:
+            if name in defined:
+                return False
+    return True
+
+
+def mro_defined_chain(policy_type: type) -> List[Set[str]]:
+    """The runtime definition chain: one attribute set per MRO class."""
+    return [set(vars(klass)) for klass in policy_type.__mro__]
+
+
+def horizon_covers_on_cycle(policy_type: type) -> bool:
+    """May the cycle-skip fast path trust this policy's ``skip_horizon``?"""
+    return contract_covers(mro_defined_chain(policy_type),
+                           HORIZON_CONTRACT, HORIZON_TRIGGERS)
+
+
+def macro_covers_policy(policy_type: type) -> bool:
+    """May fused dispatch run for this policy under ``REPRO_SPECULATE=auto``?"""
+    return contract_covers(mro_defined_chain(policy_type),
+                           MACRO_CONTRACT, MACRO_TRIGGERS)

@@ -34,6 +34,7 @@ from ..mem import MemoryHierarchy
 from ..trace.trace import Trace
 from .dyninst import DynInst, InstState
 from .fu import FUPool
+from .hookspec import horizon_covers_on_cycle, macro_covers_policy
 from .issue_queue import IssueQueue, MEMORY_WAIT
 from .regfile import NEVER as _NEVER, PhysRegFile
 from .rename import RenameState
@@ -64,44 +65,6 @@ _SQUASHED = InstState.SQUASHED
 #: Arch registers below this are INT (klass 0), at/above it FP (klass 1);
 #: equivalent to reg_class() without the enum construction.
 _NINT = NUM_INT_ARCH_REGS
-
-
-def _horizon_covers_on_cycle(policy_type: type) -> bool:
-    """May the fast path trust this policy's ``skip_horizon``?
-
-    True when, walking the MRO from the most-derived class, a
-    ``skip_horizon`` definition appears at or before the first
-    ``on_cycle`` definition — i.e. whoever last changed the per-cycle
-    behaviour also declared (or re-declared) the wakeup contract.
-    ``FetchPolicy`` itself defines both (no-op / None), so policies
-    without per-cycle behaviour are trivially safe.
-    """
-    for klass in policy_type.__mro__:
-        attrs = vars(klass)
-        if "skip_horizon" in attrs:
-            return True
-        if "on_cycle" in attrs:
-            return False
-    return True
-
-def _macro_covers_policy(policy_type: type) -> bool:
-    """May the fused dispatch fast path run under ``REPRO_SPECULATE=auto``?
-
-    Mirrors :func:`_horizon_covers_on_cycle`: walking the MRO from the
-    most-derived class, a ``macro_step_ok`` definition must appear at or
-    before the first ``on_cycle`` / ``on_l2_miss_detected`` definition —
-    whoever last changed the policy's per-cycle/event accounting must
-    also have (re)declared the macro-step contract.  ``FetchPolicy``
-    defines all three, so policies without accounting are trivially
-    covered; unknown policies with accounting get the conservative veto.
-    """
-    for klass in policy_type.__mro__:
-        attrs = vars(klass)
-        if "macro_step_ok" in attrs:
-            return True
-        if "on_cycle" in attrs or "on_l2_miss_detected" in attrs:
-            return False
-    return True
 
 
 #: Plan-cache probe sentinel: distinguishes "row never probed" from the
@@ -206,15 +169,17 @@ class SMTPipeline:
         # declare its wakeups via skip_horizon, or skipping would jump
         # over cycles it needed to observe; unknown policies therefore
         # disable the fast path rather than risk divergence.  The check
-        # is MRO-aware: a subclass overriding on_cycle below an
-        # inherited skip_horizon gets the fast path disabled too — the
-        # parent's horizon says nothing about the child's behaviour.
+        # is MRO-aware (see repro.core.hookspec, shared with the static
+        # hook-conformance lint rule): a subclass overriding on_cycle
+        # below an inherited skip_horizon gets the fast path disabled
+        # too — the parent's horizon says nothing about the child's
+        # behaviour.
         from ..policies.base import FetchPolicy
         policy_type = type(policy)
         overrides_on_cycle = policy_type.on_cycle is not FetchPolicy.on_cycle
         self._policy_has_horizon = (policy_type.skip_horizon
                                     is not FetchPolicy.skip_horizon)
-        self._policy_skip_ok = _horizon_covers_on_cycle(policy_type)
+        self._policy_skip_ok = horizon_covers_on_cycle(policy_type)
         # Avoid a no-op bound-method call per cycle for the many policies
         # that never override on_cycle.
         self._policy_on_cycle = policy.on_cycle if overrides_on_cycle else None
@@ -236,7 +201,7 @@ class SMTPipeline:
         mode = speculation_mode()
         self.macro_spec = (mode == "on"
                            or (mode == "auto"
-                               and _macro_covers_policy(policy_type)))
+                               and macro_covers_policy(policy_type)))
         # Plans depend only on trace columns + width: share the cache
         # trace-wide so co-threads and repeated runs reuse recordings.
         # The per-thread fetch address columns (thread-offset PC and its

@@ -11,6 +11,31 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict
 
+#: Stats slots that participate in result digests: every
+#: :class:`ThreadStats` field is serialized into
+#: :class:`~repro.core.processor.SimResult` via ``to_dict`` and is
+#: therefore covered by the golden-digest regime — adding a field here
+#: requires a CODE_VERSION_SALT bump and re-pinned goldens.  The
+#: ``digest-safety`` lint rule (see :mod:`repro.analysis.digests`)
+#: fails any stats field missing from this tuple and from
+#: :data:`DIGEST_SAFE_DIAGNOSTICS`, so new counters must pick a side.
+THREAD_DIGEST_FIELDS = (
+    "fetched", "dispatched", "issued", "folded", "executed",
+    "committed", "pseudo_retired", "squashed", "branches",
+    "mispredicts", "runahead_episodes", "runahead_cycles", "passes",
+    "normal_reg_samples", "normal_regs_held",
+    "runahead_reg_samples", "runahead_regs_held",
+)
+
+#: Stats slots declared digest-exempt: :class:`GlobalStats` is a
+#: diagnostics surface, never serialized into SimResult, so these may
+#: grow without touching salts or goldens.
+DIGEST_SAFE_DIAGNOSTICS = (
+    "cycles", "executed", "committed", "fetch_conflicts",
+    "dispatch_stalls", "macro_steps", "macro_insts",
+    "macro_guard_aborts", "macro_abort_causes",
+)
+
 
 @dataclasses.dataclass(slots=True)
 class ThreadStats:

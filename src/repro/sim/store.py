@@ -17,8 +17,8 @@ Because :meth:`SimResult.to_dict` contains no floats, a disk round trip
 reconstructs results exactly; cached and freshly simulated campaigns are
 indistinguishable.
 
-Salt-bump policy
-----------------
+Salt-bump policy (machine-checked)
+----------------------------------
 ``CODE_VERSION_SALT`` participates in every cache key.  Bump it in the
 same change whenever the simulator *could* produce a different
 :class:`SimResult` for some cell — a timing-model change, a policy
@@ -26,12 +26,20 @@ behaviour change, a trace-generator change, a config-default change —
 so stale on-disk entries silently miss instead of serving wrong
 results.  Bump it even when golden-digest tests still pass on their
 matrix (the matrix is a sample, not a proof), and whenever you
-re-record ``tests/data/golden_digests.json``.  Pure-performance
-refactors whose bit-identity is *guaranteed by construction and
-verified by the golden digests* may keep the salt, but when in doubt,
-bump: the only cost is one cold campaign, while a stale hit is a wrong
-figure.  Old-salt entries stay on disk until ``repro cache prune
---stale-salts`` removes them.
+re-record ``tests/data/golden_digests.json``.
+
+This policy is no longer enforced by this docstring alone: the
+``salt-fingerprint`` rule of ``repro lint`` (see
+:mod:`repro.analysis.fingerprint`) pins a normalized-AST fingerprint of
+every salt-scoped module in ``repro/analysis/fingerprints.json`` and
+**fails the lint gate** when a module's code changes without a bump of
+its governing salt.  A pure-performance refactor whose bit-identity is
+guaranteed by construction and verified by the golden digests may keep
+the salt — re-pin the baseline with ``repro lint
+--accept-fingerprints`` in the same change (and after any bump).  When
+in doubt, bump: the only cost is one cold campaign, while a stale hit
+is a wrong figure.  Old-salt entries stay on disk until ``repro cache
+prune --stale-salts`` removes them.
 
 History: ``v1`` PR 1 (engine introduction) → ``v2`` PR 3 (event-driven
 cycle skipping + hot-path rework; results verified bit-identical, but
@@ -234,11 +242,17 @@ class DiskStore(ResultStore):
         return key in self._memory or os.path.exists(self._path(key))
 
     def _walk(self):
-        """Walk the result entries, skipping the exhibit-render cache."""
+        """Walk the result entries, skipping the exhibit-render cache.
+
+        Both levels are sorted so every scan-derived report (``stats``,
+        ``prune`` logs, ``__len__`` tie-breaks) is independent of
+        filesystem enumeration order.
+        """
         for dirpath, dirnames, filenames in os.walk(self.root):
             if dirpath == self.root and EXHIBIT_DIR in dirnames:
                 dirnames.remove(EXHIBIT_DIR)
-            yield dirpath, dirnames, filenames
+            dirnames.sort()
+            yield dirpath, dirnames, sorted(filenames)
 
     def __len__(self) -> int:
         count = 0
@@ -345,7 +359,9 @@ class DiskStore(ResultStore):
             raise ValueError(
                 "prune needs a criterion: stale_salts and/or "
                 "older_than_days")
-        reference = time.time() if now is None else now
+        # Pruning is genuinely wall-clock maintenance (entry age), not
+        # simulation semantics; tests pin `now`.
+        reference = time.time() if now is None else now  # lint: disable=determinism-hazard
         cutoff = (reference - older_than_days * 86400.0
                   if older_than_days is not None else None)
         outcome = PruneResult()
@@ -408,11 +424,7 @@ class ExhibitRenderCache:
         return os.path.join(self.root, render_key + ".json")
 
     def __len__(self) -> int:
-        try:
-            return sum(1 for name in os.listdir(self.root)
-                       if name.endswith(".json"))
-        except OSError:
-            return 0
+        return sum(1 for _ in self.entries(need_salt=False))
 
     def get(self, render_key: str) -> Optional[Dict]:
         """The cached ``ExhibitResult.to_dict()`` payload, or ``None``."""
@@ -449,9 +461,9 @@ class ExhibitRenderCache:
     # stats / prune contract as DiskStore, against the render salt.
 
     def entries(self, need_salt: bool = True) -> Iterator[CacheEntry]:
-        """Scan the cached renderings (metadata only)."""
+        """Scan the cached renderings (metadata only), in key order."""
         try:
-            filenames = os.listdir(self.root)
+            filenames = sorted(os.listdir(self.root))
         except OSError:
             return
         for filename in filenames:
@@ -509,7 +521,9 @@ class ExhibitRenderCache:
             raise ValueError(
                 "prune needs a criterion: stale_salts and/or "
                 "older_than_days")
-        reference = time.time() if now is None else now
+        # Pruning is genuinely wall-clock maintenance (entry age), not
+        # simulation semantics; tests pin `now`.
+        reference = time.time() if now is None else now  # lint: disable=determinism-hazard
         cutoff = (reference - older_than_days * 86400.0
                   if older_than_days is not None else None)
         outcome = PruneResult()
