@@ -53,6 +53,12 @@ HOT_FUNCTIONS: Tuple[Tuple[str, str], ...] = (
     ("branch/perceptron.py", "PerceptronPredictor.predict"),
     ("core/thread.py", "ThreadContext.next_inst"),
     ("sim/fame.py", "fame_run"),
+    # The kernel-tier entry points: the portable FAME loop and the
+    # emitters whose *output* is the specialized per-cycle body (keeping
+    # the generators clean keeps the generated loops clean).
+    ("sim/kernels.py", "python_run_loop"),
+    ("sim/kernels.py", "resolve_run_loop"),
+    ("core/kernel_cache.py", "specialized_run_loop"),
 )
 
 #: Minimum attribute hops for the re-resolution check: ``obj.attr`` is

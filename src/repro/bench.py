@@ -36,12 +36,17 @@ import subprocess
 import time
 from typing import Dict, List, Optional
 
-from .config import baseline
+from .config import KERNEL_ENV_VAR, baseline, kernel_mode
 from .core.processor import SMTProcessor
 from .trace.generator import generate_trace
 
 #: Report schema identifier.
 BENCH_SCHEMA = "repro-bench-v1"
+
+#: Calibration constants further apart than this make normalized
+#: comparisons suspect (PR 6 recorded ~124 -> 70-93 ms drift across
+#: machine states of one box); --check/--compare warn past it.
+CALIBRATION_DRIFT_RATIO = 1.25
 
 #: The acceptance-criterion cell (MEM-heavy, 2 threads, memory-blocked).
 HEADLINE_CELL = "mem2-stall"
@@ -105,33 +110,83 @@ def bench_cells(quick: bool = False) -> List[BenchCell]:
     return list(BENCH_CELLS)
 
 
-def calibrate(repeats: int = 3) -> float:
+def calibrate(repeats: int = 5) -> float:
     """Wall time of a fixed pure-Python loop (machine speed constant).
 
     Dividing a cell's seconds by this constant yields a dimensionless
     cost that transfers between machines far better than raw seconds,
     which is what ``--check`` compares.
     """
-    best = float("inf")
+    return calibration_detail(repeats)["median_seconds"]
+
+
+def calibration_detail(repeats: int = 5) -> Dict:
+    """Median-of-K calibration with its own noise accounting.
+
+    PR 6 recorded the best-of-3 constant drifting ~124 -> 70-93 ms
+    across machine states, poisoning every normalized comparison made
+    through it.  The median of K runs is robust to a slow outlier *and*
+    to a single lucky turbo burst (which best-of-K is not); the spread
+    ``(max - min) / median`` is embedded in the report so a reader of
+    any future comparison can judge how trustworthy the constant was.
+    """
+    repeats = max(1, repeats)
+    samples = []
     for _ in range(repeats):
         started = time.perf_counter()
         total = 0
         for value in range(_CALIBRATION_N):
             total += value & 7
-        elapsed = time.perf_counter() - started
-        best = min(best, elapsed)
+        samples.append(time.perf_counter() - started)
         if total < 0:  # pragma: no cover - keeps the loop un-eliminable
             raise AssertionError
-    return best
+    samples.sort()
+    median = samples[len(samples) // 2]
+    return {
+        "repeats": repeats,
+        "median_seconds": median,
+        "spread": ((samples[-1] - samples[0]) / median
+                   if median > 0 else 0.0),
+        "samples": samples,
+    }
+
+
+def calibration_drift_warning(report: Dict, reference: Dict,
+                              threshold: float = CALIBRATION_DRIFT_RATIO
+                              ) -> Optional[str]:
+    """A loud warning when two reports' calibration constants diverge.
+
+    Returns None while the constants are within ``threshold`` of each
+    other; past it, every normalized ratio between the two reports
+    carries the drift as a hidden factor, so ``--check``/``--compare``
+    print this instead of letting the numbers look authoritative.
+    """
+    ours = report.get("calibration_seconds")
+    theirs = reference.get("calibration_seconds")
+    if not ours or not theirs or ours <= 0 or theirs <= 0:
+        return None
+    ratio = ours / theirs if ours >= theirs else theirs / ours
+    if ratio <= threshold:
+        return None
+    return (f"[bench] WARNING: calibration constants differ "
+            f"{ratio:.2f}x (this run {ours * 1e3:.1f} ms, reference "
+            f"{theirs * 1e3:.1f} ms > {threshold:.2f}x apart) — "
+            f"normalized comparisons between these reports absorb "
+            f"that machine-speed drift; re-baseline on this machine "
+            f"state before trusting ratios near the tolerance")
 
 
 def time_cell(cell: BenchCell, cycle_skip: bool = True,
-              repeats: int = 3) -> Dict:
+              repeats: int = 3, kernel: Optional[str] = None) -> Dict:
     """Best-of-``repeats`` wall time for one cell.
 
     Returns the timing plus the run's simulation statistics (cycle
     counts and skip accounting from the final repeat — every repeat is
-    bit-identical, so any of them is representative).
+    bit-identical, so any of them is representative).  ``kernel`` pins
+    the run-loop tier for this timing by setting ``REPRO_KERNEL``
+    around the runs (restored afterwards) — the bench harness is
+    outside the determinism scope that bars env reads, and the knob
+    cannot change results, only speed.
     """
     traces = [generate_trace(name, cell.trace_len, 1)
               for name in cell.benchmarks]
@@ -139,13 +194,29 @@ def time_cell(cell: BenchCell, cycle_skip: bool = True,
     best = float("inf")
     result = None
     pipeline = None
-    for _ in range(max(1, repeats)):
-        processor = SMTProcessor(config, traces)
-        processor.pipeline.cycle_skip = cycle_skip
-        started = time.perf_counter()
-        result = processor.run(min_passes=cell.min_passes)
-        best = min(best, time.perf_counter() - started)
-        pipeline = processor.pipeline
+    saved_kernel = os.environ.get(KERNEL_ENV_VAR)
+    if kernel is not None:
+        os.environ[KERNEL_ENV_VAR] = kernel
+    try:
+        # Warm the per-process kernel cache before timing so the first
+        # repeat does not carry the one-off source-emission + compile
+        # cost of the specialized tier.
+        warm = SMTProcessor(config, traces)
+        warm.pipeline.cycle_skip = cycle_skip
+        warm.run(min_passes=cell.min_passes)
+        for _ in range(max(1, repeats)):
+            processor = SMTProcessor(config, traces)
+            processor.pipeline.cycle_skip = cycle_skip
+            started = time.perf_counter()
+            result = processor.run(min_passes=cell.min_passes)
+            best = min(best, time.perf_counter() - started)
+            pipeline = processor.pipeline
+    finally:
+        if kernel is not None:
+            if saved_kernel is None:
+                os.environ.pop(KERNEL_ENV_VAR, None)
+            else:
+                os.environ[KERNEL_ENV_VAR] = saved_kernel
     gstats = pipeline.gstats
     return {
         "seconds": best,
@@ -178,10 +249,19 @@ def current_revision() -> str:
 
 
 def run_bench(quick: bool = False, repeats: int = 3,
-              measure_noskip: bool = True, progress=None) -> Dict:
-    """Run the matrix and return the report document."""
+              measure_noskip: bool = True, compare_kernels: bool = False,
+              progress=None) -> Dict:
+    """Run the matrix and return the report document.
+
+    ``compare_kernels`` additionally times every cell under the forced
+    ``python`` run-loop tier and records ``seconds_python`` /
+    ``kernel_speedup`` per cell — the specialized-vs-python evidence
+    must come from one machine session, not from diffing two reports
+    whose calibration constants may have drifted apart.
+    """
     cells = bench_cells(quick)
-    calibration = calibrate()
+    calibration_info = calibration_detail()
+    calibration = calibration_info["median_seconds"]
     report: Dict = {
         "schema": BENCH_SCHEMA,
         "revision": current_revision(),
@@ -189,6 +269,8 @@ def run_bench(quick: bool = False, repeats: int = 3,
         "repeats": repeats,
         "python": platform.python_version(),
         "calibration_seconds": calibration,
+        "calibration": calibration_info,
+        "kernel": kernel_mode(),
         "cells": {},
     }
     for cell in cells:
@@ -226,6 +308,12 @@ def run_bench(quick: bool = False, repeats: int = 3,
             entry["seconds_noskip"] = reference["seconds"]
             entry["speedup_vs_noskip"] = (reference["seconds"] / seconds
                                           if seconds > 0 else 0.0)
+        if compare_kernels:
+            forced = time_cell(cell, cycle_skip=True, repeats=repeats,
+                               kernel="python")
+            entry["seconds_python"] = forced["seconds"]
+            entry["kernel_speedup"] = (forced["seconds"] / seconds
+                                       if seconds > 0 else 0.0)
         report["cells"][cell.id] = entry
         if progress is not None:
             note = (f"  {cell.id}: {entry['seconds']:.3f}s "
@@ -236,6 +324,8 @@ def run_bench(quick: bool = False, repeats: int = 3,
                          f"{entry['macro_guard_aborts']} guard aborts")
             if measure_noskip:
                 note += f", {entry['speedup_vs_noskip']:.2f}x vs no-skip"
+            if compare_kernels:
+                note += f", {entry['kernel_speedup']:.2f}x vs python tier"
             progress(note + ")")
     return report
 

@@ -54,7 +54,7 @@ import sys
 import time
 from typing import List, Optional
 
-from .config import SPECULATE_ENV_VAR, baseline
+from .config import KERNEL_ENV_VAR, SPECULATE_ENV_VAR, baseline
 from .errors import ManifestError
 from .experiments import Campaign, ExhibitContext, exhibit_names
 from .experiments.common import RENDER_FORMATS
@@ -153,6 +153,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-progress", action="store_true",
                         help="suppress per-cell progress output")
     _add_speculate_argument(parser)
+    _add_kernel_argument(parser)
     return parser
 
 
@@ -170,15 +171,33 @@ def _add_speculate_argument(parser: argparse.ArgumentParser) -> None:
                              "bit-identical in every mode")
 
 
-def _apply_speculate(args: argparse.Namespace) -> None:
-    """Propagate --speculate through the environment knob.
+def _add_kernel_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--kernel", choices=("auto", "python", "specialized"),
+                        default=None,
+                        help="run-loop tier driving each cell: 'auto' "
+                             "(default; the config-folded specialized "
+                             "kernel where the machine shape is covered, "
+                             "the portable loop elsewhere), 'python' "
+                             "(portable loop always), 'specialized' "
+                             "(request the compiled kernel; uncovered "
+                             "shapes still fall back, never error). "
+                             "Sets REPRO_KERNEL for this invocation, "
+                             "workers included; results are "
+                             "bit-identical in every tier")
 
-    The switch is an env var rather than an SMTConfig field (see
-    :func:`repro.config.speculation_mode`), so exporting it here covers
+
+def _apply_speculate(args: argparse.Namespace) -> None:
+    """Propagate --speculate / --kernel through the environment knobs.
+
+    Both switches are env vars rather than SMTConfig fields (see
+    :func:`repro.config.speculation_mode` /
+    :func:`repro.config.kernel_mode`), so exporting them here covers
     the in-process engine and every spawned --jobs worker alike.
     """
     if getattr(args, "speculate", None):
         os.environ[SPECULATE_ENV_VAR] = args.speculate
+    if getattr(args, "kernel", None):
+        os.environ[KERNEL_ENV_VAR] = args.kernel
 
 
 def make_spec(args: argparse.Namespace) -> RunSpec:
@@ -369,7 +388,14 @@ def build_bench_parser() -> argparse.ArgumentParser:
     parser.add_argument("--compare", default=None, metavar="REPORT",
                         help="also print per-cell speedups against "
                              "another report (informational)")
+    parser.add_argument("--compare-kernels", action="store_true",
+                        help="additionally time every cell under the "
+                             "forced 'python' run-loop tier and record "
+                             "seconds_python/kernel_speedup per cell "
+                             "(same-session evidence for the "
+                             "specialized tier)")
     _add_speculate_argument(parser)
+    _add_kernel_argument(parser)
     return parser
 
 
@@ -383,6 +409,7 @@ def bench_main(argv: List[str]) -> int:
     report = bench.run_bench(
         quick=args.quick, repeats=args.repeats,
         measure_noskip=not args.no_noskip,
+        compare_kernels=args.compare_kernels,
         progress=lambda line: print(line, file=sys.stderr))
     path = bench.write_report(report, args.output)
     print(bench.render_report(report))
@@ -398,6 +425,9 @@ def bench_main(argv: List[str]) -> int:
             print(f"repro-smt bench: bad --{label} report: {error}",
                   file=sys.stderr)
             return 2
+        drift = bench.calibration_drift_warning(report, reference)
+        if drift:
+            print(drift, file=sys.stderr)
         for line in bench.compare_summary(report, reference):
             print(line)
         if label == "check":

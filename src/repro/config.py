@@ -63,6 +63,42 @@ def speculation_mode() -> str:
             f"got {value!r}")
     return value
 
+#: Environment switch for the simulation-kernel tier (which
+#: implementation of the pipeline run loop drives a cell; see
+#: :mod:`repro.sim.kernels`).  Values: ``auto`` / ``python`` /
+#: ``specialized``.
+KERNEL_ENV_VAR = "REPRO_KERNEL"
+
+_KERNEL_MODES = ("auto", "python", "specialized")
+
+
+def kernel_mode() -> str:
+    """Resolve the kernel-tier switch: ``auto|python|specialized``.
+
+    * ``python`` — the portable pure-Python run loop (the fallback tier
+      every other tier must match bit for bit).
+    * ``specialized`` — request the source-generating specializer
+      (:mod:`repro.core.kernel_gen`): a run loop compiled per (config
+      shape x policy class) with the machine constants folded in.  A
+      policy/config the generator does not cover still falls back to
+      the python tier — selection is a request, never an error.
+    * ``auto`` (default) — ``specialized`` where covered, ``python``
+      elsewhere.
+
+    Deliberately an environment knob rather than an :class:`SMTConfig`
+    field, exactly like :func:`speculation_mode`: the frozen config's
+    ``to_dict`` is the canonical cache-key encoding, and a new field
+    would re-key every cached cell for a switch that — by the
+    bit-identity contract — cannot change any result.  No cache salt
+    bump is needed for the same reason.
+    """
+    value = os.environ.get(KERNEL_ENV_VAR, "auto").strip().lower()
+    if value not in _KERNEL_MODES:
+        raise ConfigError(
+            f"{KERNEL_ENV_VAR} must be one of {_KERNEL_MODES}, "
+            f"got {value!r}")
+    return value
+
 #: Paper §5.1/§5.2 evaluate ICOUNT with 2 threads fetching up to 8
 #: instructions per cycle (the classic ICOUNT.2.8 configuration).
 DEFAULT_FETCH_THREADS = 2

@@ -86,3 +86,40 @@ def macro_covers_policy(policy_type: type) -> bool:
     """May fused dispatch run for this policy under ``REPRO_SPECULATE=auto``?"""
     return contract_covers(mro_defined_chain(policy_type),
                            MACRO_CONTRACT, MACRO_TRIGGERS)
+
+
+#: Package whose policy classes the specialized kernel tier was
+#: validated against (the bit-identity suites run over the registry).
+KERNEL_POLICY_PACKAGE = "repro.policies"
+
+#: Hook/attribute surface the specialized kernel generator folds or
+#: hoists at generation time.  If any of these is (re)defined outside
+#: :data:`KERNEL_POLICY_PACKAGE`, the generated kernel may disagree with
+#: the author's intent (e.g. an instance-level ``uses_runahead`` flip),
+#: so coverage is refused and selection falls back to the python tier.
+KERNEL_HOOK_SURFACE: Tuple[str, ...] = (
+    "attach", "fetch_order", "on_cycle", "on_l2_miss_detected",
+    "macro_step_ok", "skip_horizon", "uses_runahead",
+)
+
+
+def kernel_covers_policy(policy_type: type) -> bool:
+    """May the specialized kernel tier drive a cell with this policy?
+
+    Same conservative philosophy as the macro auto-veto: a third-party
+    subclass is never an error, it simply keeps the portable python run
+    loop.  Coverage requires that every class defining (or overriding)
+    a name in :data:`KERNEL_HOOK_SURFACE` lives inside
+    :data:`KERNEL_POLICY_PACKAGE` — the set of classes the bit-identity
+    suites actually exercise against the generated kernels.
+    """
+    package = KERNEL_POLICY_PACKAGE
+    prefix = package + "."
+    for name in KERNEL_HOOK_SURFACE:
+        for klass in policy_type.__mro__:
+            if name in vars(klass):
+                module = getattr(klass, "__module__", "")
+                if module != package and not module.startswith(prefix):
+                    return False
+                break
+    return True

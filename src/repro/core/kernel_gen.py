@@ -1,0 +1,1305 @@
+"""Specialized kernel generation: config-folded pipeline run loops.
+
+This is the :mod:`repro.core.macro_jit` idea scaled from one dispatch
+run to the whole FAME hot loop.  For a given *machine shape* — the
+config scalars the stage loops read every cycle, plus the folded policy
+facts the pipeline derives at construction — :func:`emit_kernel_source`
+emits Python source for a complete ``run``-equivalent loop with:
+
+* the per-cycle ``step()``/``advance()``/stage dispatch collapsed into
+  one loop body (no bound-method calls between stages);
+* every per-call hoist the stage methods perform (``self.rob``,
+  ``self.mem.data_access_packed``, trace columns, …) done **once per
+  run** instead of once per stage call;
+* config scalars folded to literals (width, fetch width/buffer,
+  ROB/IQ capacities, FU counts, cache latencies, thread count — the
+  rotation index becomes ``now & (NT-1)`` for power-of-two NT);
+* policy hook presence resolved at generation time: a policy without
+  ``on_cycle`` loses the per-cycle test entirely, a machine without
+  runahead loses every ``thread.mode`` branch, speculation-off kernels
+  carry no macro-dispatch code at all;
+* the event-table call elided on cycles with no due bucket (sound
+  because every ``_events`` key is pushed into ``_event_heap`` on
+  bucket creation, and a call with no due bucket mutates nothing).
+
+Correctness contract (same as the macro JIT): the emitted body is a
+statement-for-statement transcription of ``SMTPipeline.step`` /
+``advance`` and the stage bodies with constants folded — it must leave
+bit-identical machine state and raise the same errors at the same
+cycles.  Cold paths (event processing on due cycles, per-instruction
+dispatch, folds, runahead transitions, misprediction repair, the skip
+planner) stay out-of-line bound calls into the pipeline: they are
+exercised through the exact same code as the python tier.
+
+Generated kernels are keyed and memoized by :class:`KernelKey`
+(:mod:`repro.core.kernel_cache`), so every pipeline with the same shape
+shares one compiled loop; all run-specific objects arrive through the
+``pipeline`` argument.  :func:`specialization_key` answers ``None`` for
+anything outside the validated envelope (third-party policy classes,
+more threads than the unrolled samplers cover) — the caller falls back
+to the python tier, never errors (see :mod:`repro.sim.kernels`).
+"""
+
+from __future__ import annotations
+
+import operator
+from heapq import heappush
+from typing import NamedTuple, Optional, Tuple
+
+from ..errors import DeadlockError, SimulationError
+from ..isa import (IS_FP_BY_CODE, NO_REG, NUM_INT_ARCH_REGS,
+                   OP_LATENCY_BY_CODE, OP_QUEUE_BY_CODE)
+from .dyninst import DynInst, InstState
+from .hookspec import kernel_covers_policy
+from .regfile import NEVER
+from .thread import ThreadMode, build_macro_plan
+from .macro_jit import compile_macro_handler
+from . import pipeline as pipeline_mod
+
+#: Threads beyond this fall back to the python tier: the termination
+#: test, stat sampler and rotation tables are unrolled per thread, and
+#: the validated envelope (golden cells + fuzz suites) stops at 4.
+MAX_THREADS = 8
+
+
+class KernelKey(NamedTuple):
+    """The machine shape a generated kernel is specialized for.
+
+    Everything here is either an :class:`SMTConfig` scalar (immutable
+    after construction) or a pipeline fact derived once in
+    ``SMTPipeline.__init__`` from the policy class/knobs.  Two pipelines
+    with equal keys can share one compiled kernel; nothing run-specific
+    may appear here.  ``macro_spec``/``skip_enabled`` are technically
+    mutable pipeline flags — the kernel resolver re-reads them per
+    ``run()`` call, so flipping them between runs selects a different
+    kernel rather than invalidating this one.
+    """
+
+    num_threads: int
+    width: int
+    fetch_threads: int
+    fetch_buffer: int
+    icache_latency: int
+    dcache_latency: int
+    l2_detect_latency: int
+    rob_capacity: int
+    iq_caps: Tuple[int, int, int]
+    fu_caps: Tuple[int, int, int]
+    uses_runahead: bool
+    ra_fp_inval: bool
+    macro_spec: bool
+    has_on_cycle: bool
+    has_macro_ok: bool
+    skip_enabled: bool
+
+
+def specialization_key(pipeline) -> Optional[KernelKey]:
+    """The kernel key for this pipeline, or None if uncovered."""
+    if not kernel_covers_policy(type(pipeline.policy)):
+        return None
+    if pipeline.num_threads > MAX_THREADS:
+        return None
+    fus = pipeline.fus
+    queues = pipeline.queues
+    return KernelKey(
+        num_threads=pipeline.num_threads,
+        width=pipeline._width,
+        fetch_threads=pipeline._fetch_threads,
+        fetch_buffer=pipeline._fetch_buffer_size,
+        icache_latency=pipeline._icache_latency,
+        dcache_latency=pipeline._dcache_latency,
+        l2_detect_latency=pipeline._l2_detect_latency,
+        rob_capacity=pipeline.rob.capacity,
+        iq_caps=(queues[0].capacity, queues[1].capacity,
+                 queues[2].capacity),
+        fu_caps=(fus._capacity[0], fus._capacity[1], fus._capacity[2]),
+        uses_runahead=pipeline._uses_runahead,
+        ra_fp_inval=pipeline._ra_fp_inval,
+        macro_spec=pipeline.macro_spec,
+        has_on_cycle=pipeline._policy_on_cycle is not None,
+        has_macro_ok=pipeline._macro_step_ok is not None,
+        skip_enabled=bool(pipeline.cycle_skip and pipeline._policy_skip_ok),
+    )
+
+
+def kernel_namespace() -> dict:
+    """The globals dict a generated kernel executes against.
+
+    Shares the *same objects* the interpreter tier uses — enum members
+    compare by identity, ``PLAN_MISSING`` is the pipeline module's
+    sentinel, and the JIT thresholds are read through ``pipeline_mod``
+    so tests that patch them reach compiled kernels too.
+    """
+    return {
+        "DynInst": DynInst,
+        "DeadlockError": DeadlockError,
+        "SimulationError": SimulationError,
+        "heappush": heappush,
+        "OP_LATENCY_BY_CODE": OP_LATENCY_BY_CODE,
+        "OP_QUEUE_BY_CODE": OP_QUEUE_BY_CODE,
+        "IS_FP_BY_CODE": IS_FP_BY_CODE,
+        "NO_REG": NO_REG,
+        "NINT": NUM_INT_ARCH_REGS,
+        "NEVER": NEVER,
+        "DISPATCHED": InstState.DISPATCHED,
+        "READY": InstState.READY,
+        "ISSUED": InstState.ISSUED,
+        "COMPLETED": InstState.COMPLETED,
+        "RETIRED": InstState.RETIRED,
+        "SQUASHED": InstState.SQUASHED,
+        "RUNAHEAD_MODE": ThreadMode.RUNAHEAD,
+        "NORMAL_MODE": ThreadMode.NORMAL,
+        "PLAN_MISSING": pipeline_mod._PLAN_MISSING,
+        "DEADLOCK_WINDOW": pipeline_mod._DEADLOCK_WINDOW,
+        "build_macro_plan": build_macro_plan,
+        "compile_macro_handler": compile_macro_handler,
+        "pipeline_mod": pipeline_mod,
+        "inst_age": operator.attrgetter("gseq"),
+    }
+
+
+def _rotation_expr(key: KernelKey) -> str:
+    nt = key.num_threads
+    if nt == 1:
+        return "rot0"
+    if nt & (nt - 1) == 0:
+        return f"rotations[now & {nt - 1}]"
+    return f"rotations[now % {nt}]"
+
+
+def _emit_hoists(key: KernelKey, emit) -> None:
+    """Per-run hoists: every object here is construction-stable (the
+    attribute-stability audit in the PR notes; ``IssueQueue._ready`` is
+    the one rebound attribute and is deliberately *not* hoisted)."""
+    emit("    threads = pipeline.threads")
+    for i in range(key.num_threads):
+        emit(f"    t{i} = threads[{i}]")
+        emit(f"    t{i}_stats = t{i}.stats")
+        emit(f"    t{i}_held = t{i}.regs_held")
+    if key.num_threads == 1:
+        emit("    rot0 = pipeline._rotations[0]")
+    else:
+        emit("    rotations = pipeline._rotations")
+    emit("    rob = pipeline.rob")
+    emit("    rob_queues = rob._queues")
+    emit("    rob_pt = rob.per_thread")
+    emit("    queues = pipeline.queues")
+    emit("    q0 = queues[0]")
+    emit("    q1 = queues[1]")
+    emit("    q2 = queues[2]")
+    emit("    q0_pt = q0.per_thread")
+    emit("    q1_pt = q1.per_thread")
+    emit("    q2_pt = q2.per_thread")
+    emit(f"    iq_caps = ({key.iq_caps[0]}, {key.iq_caps[1]}, "
+         f"{key.iq_caps[2]})")
+    emit("    int_file = pipeline.int_file")
+    emit("    fp_file = pipeline.fp_file")
+    emit("    available = pipeline.fus._available")
+    emit("    issued = pipeline.fus.issued")
+    emit("    events = pipeline._events")
+    emit("    heap = pipeline._event_heap")
+    emit("    fold_worklist = pipeline._fold_worklist")
+    emit("    gstats = pipeline.gstats")
+    emit("    mem = pipeline.mem")
+    emit("    data_access = mem.data_access_packed")
+    emit("    ifetch_packed = mem.ifetch_packed")
+    emit("    predictor_predict = pipeline.predictor.predict")
+    emit("    btb_lookup = pipeline.btb.lookup_and_insert")
+    emit("    fetch_order = pipeline.policy.fetch_order")
+    if key.has_on_cycle:
+        emit("    policy_on_cycle = pipeline._policy_on_cycle")
+    if key.has_macro_ok:
+        emit("    macro_ok = pipeline._macro_step_ok")
+    emit("    fold = pipeline._fold")
+    emit("    drain_folds = pipeline._drain_folds")
+    emit("    release_preg = pipeline._release_preg")
+    emit("    resolve_mispred = pipeline._resolve_misprediction")
+    emit("    on_l2_detected = pipeline._on_l2_detected")
+    emit("    schedule = pipeline.schedule")
+    if key.uses_runahead:
+        emit("    runahead = pipeline.runahead")
+        emit("    ra_exit = runahead.exit")
+        emit("    should_enter = runahead.should_enter")
+        emit("    on_runahead_store = runahead.on_runahead_store")
+        emit("    ra_prefetch = runahead.prefetch")
+        emit("    ra_stop_fetch = runahead.stop_fetch_on_l2_miss")
+        emit("    load_forward = runahead.load_forward_validity")
+        emit("    peek_data = mem.peek_data")
+        emit("    enter_runahead = pipeline._enter_runahead")
+    if key.skip_enabled:
+        emit("    skip_target = pipeline._skip_target")
+        emit("    skip_to = pipeline._skip_to")
+    # Namespace constants pulled into fast locals.
+    emit("    no_reg = NO_REG")
+    emit("    nint = NINT")
+    emit("    dispatched_state = DISPATCHED")
+    emit("    ready_state = READY")
+    emit("    issued_state = ISSUED")
+    emit("    completed_state = COMPLETED")
+    emit("    retired_state = RETIRED")
+    if key.uses_runahead:
+        emit("    ra_mode = RUNAHEAD_MODE")
+        emit("    normal_mode = NORMAL_MODE")
+    emit("    never = NEVER")
+    if key.macro_spec:
+        emit("    plan_missing = PLAN_MISSING")
+    emit("    op_latency = OP_LATENCY_BY_CODE")
+    emit("    op_queue = OP_QUEUE_BY_CODE")
+    if key.uses_runahead:
+        emit("    is_fp_code = IS_FP_BY_CODE")
+    emit("    cycle = pipeline.cycle")
+
+
+def _emit_events(key: KernelKey, emit) -> None:
+    """Inlined ``_process_events``, call-elided on undue cycles.
+
+    Elision soundness: a call with no bucket at ``now`` pops nothing,
+    prunes only keys <= now (none exist unless ``heap[0] <= now``) and
+    returns before the fold drain — so skipping it mutates nothing.
+    """
+    ur = key.uses_runahead
+    emit("        if heap and heap[0] <= now:")
+    emit("            bucket = events.pop(now, None)")
+    emit("            while heap and heap[0] <= now and heap[0] not in events:")
+    emit("                heap_pop(heap)")
+    emit("            if bucket:")
+    emit("                for kind, inst in bucket:")
+    emit("                    state = inst.state")
+    emit("                    if state == squashed_state or state == retired_state:")
+    emit("                        continue")
+    emit("                    if kind == 0:")
+    emit("                        if state == issued_state:")
+    emit("                            inst.state = completed_state")
+    emit("                            thread = threads[inst.tid]")
+    emit("                            if inst.l2_counted:")
+    emit("                                inst.l2_counted = False")
+    emit("                                thread.pending_l2_misses -= 1")
+    emit("                            preg = inst.pdest")
+    emit("                            if preg != no_reg:")
+    emit("                                invalid = inst.invalid")
+    emit("                                file = (int_file if inst.dest_arch < nint")
+    emit("                                        else fp_file)")
+    emit("                                file.ready[preg] = now")
+    emit("                                file.inv[preg] = invalid")
+    emit("                                woken = file.waiters[preg]")
+    emit("                                if woken:")
+    emit("                                    file.waiters[preg] = []")
+    emit("                                    for waiter in woken:")
+    emit("                                        if waiter.state != dispatched_state:")
+    emit("                                            continue")
+    emit("                                        if invalid:")
+    emit("                                            if waiter.psrc1 == preg:")
+    emit("                                                waiter.src_inv_mask |= 1")
+    emit("                                            if waiter.psrc2 == preg:")
+    emit("                                                waiter.src_inv_mask |= 2")
+    emit("                                        pending = waiter.pending_srcs - 1")
+    emit("                                        waiter.pending_srcs = pending")
+    emit("                                        if pending > 0:")
+    emit("                                            continue")
+    emit("                                        wmask = waiter.src_inv_mask")
+    emit("                                        if ((wmask & 1) if waiter.is_store")
+    emit("                                                else wmask):")
+    emit("                                            fold_worklist.append(waiter)")
+    emit("                                        else:")
+    emit("                                            waiter.state = ready_state")
+    emit("                                            queues[op_queue[waiter.op]]"
+         "._ready.append(waiter)")
+    if ur:
+        # Inlined _recycle_runahead_dest; inst.pdest == preg != NO_REG
+        # holds here (guarded above), so the entry check is elided.
+        emit("                                if invalid and thread.mode is ra_mode:")
+        emit("                                    dest_arch = inst.dest_arch")
+        emit("                                    if dest_arch < nint:")
+        emit("                                        klass = 0")
+        emit("                                        arch_index = dest_arch")
+        emit("                                    else:")
+        emit("                                        klass = 1")
+        emit("                                        arch_index = dest_arch - nint")
+        emit("                                    if not file.pinned[preg]:")
+        emit("                                        front = thread.rename.front[klass]")
+        emit("                                        if front[arch_index] == preg:")
+        emit("                                            front[arch_index] = (thread")
+        emit("                                                .rename.arch[klass]"
+             "[arch_index])")
+        emit("                                            if not file._allocated[preg]:")
+        emit("                                                raise SimulationError(")
+        emit("                                                    f\"{file.name}: double"
+             " release of p{preg}\")")
+        emit("                                            file._allocated[preg] = False")
+        emit("                                            file.waiters[preg].clear()")
+        emit("                                            file._free.append(preg)")
+        emit("                                            thread.regs_held[klass] -= 1")
+        emit("                                            thread.arch_inv[dest_arch]"
+             " = invalid")
+        emit("                                            inst.pdest = no_reg")
+    emit("                            if (inst.is_branch and not inst.invalid")
+    emit("                                    and inst.mispredicted):")
+    emit("                                resolve_mispred(inst, now)")
+    emit("                    elif kind == 1:")
+    emit("                        if state < retired_state:")
+    emit("                            on_l2_detected(inst, now)")
+    emit("                if fold_worklist:")
+    emit("                    drain_folds(now)")
+
+
+def _emit_commit(key: KernelKey, emit) -> None:
+    ur = key.uses_runahead
+    emit(f"        commit_budget = {key.width}")
+    emit(f"        for thread in {_rotation_expr(key)}:")
+    if ur:
+        emit("            if (thread.mode is ra_mode")
+        emit("                    and now >= thread.runahead_trigger_ready):")
+        emit("                ra_exit(thread, now)")
+        emit("                continue")
+    emit("            tid = thread.tid")
+    emit("            window = rob_queues[tid]")
+    emit("            if not window:")
+    emit("                continue")
+    emit("            stats = thread.stats")
+    body_indent = "            "
+    if ur:
+        emit("            if thread.mode is normal_mode:")
+        body_indent = "                "
+    prefix = body_indent
+    emit(prefix + "last_index = thread.last_index")
+    emit(prefix + "rename = thread.rename")
+    emit(prefix + "while commit_budget > 0 and window:")
+    emit(prefix + "    head = window[0]")
+    emit(prefix + "    if head.state == completed_state:")
+    emit(prefix + "        window.popleft()")
+    emit(prefix + "        rob._occupancy -= 1")
+    emit(prefix + "        rob_pt[tid] -= 1")
+    emit(prefix + "        head.state = retired_state")
+    emit(prefix + "        thread.rob_held -= 1")
+    emit(prefix + "        stats.committed += 1")
+    emit(prefix + "        gstats.committed += 1")
+    emit(prefix + "        pipeline._last_commit_cycle = now")
+    emit(prefix + "        commit_budget -= 1")
+    emit(prefix + "        dest_arch = head.dest_arch")
+    emit(prefix + "        if head.pdest != no_reg:")
+    emit(prefix + "            if dest_arch < nint:")
+    emit(prefix + "                klass = 0")
+    emit(prefix + "                arch_index = dest_arch")
+    emit(prefix + "            else:")
+    emit(prefix + "                klass = 1")
+    emit(prefix + "                arch_index = dest_arch - nint")
+    emit(prefix + "            old = rename.commit_dest(")
+    emit(prefix + "                klass, arch_index, head.pdest)")
+    emit(prefix + "            if old != head.pdest:")
+    emit(prefix + "                release_preg(thread, klass, old)")
+    emit(prefix + "        if head.is_store:")
+    emit(prefix + "            data_access(head.addr, True, now, tid)")
+    emit(prefix + "        if head.trace_index == last_index:")
+    emit(prefix + "            thread.finished_passes += 1")
+    emit(prefix + "            stats.passes += 1")
+    if ur:
+        emit(prefix + "    elif (head.l2_miss")
+        emit(prefix + "          and should_enter(thread, head, now)):")
+        emit(prefix + "        enter_runahead(thread, head, now)")
+        emit(prefix + "        commit_budget -= 1")
+        emit(prefix + "        break")
+    emit(prefix + "    else:")
+    emit(prefix + "        break")
+    if ur:
+        emit("            else:")
+        emit("                while commit_budget > 0 and window:")
+        emit("                    head = window[0]")
+        emit("                    if head.state != completed_state:")
+        emit("                        break")
+        emit("                    window.popleft()")
+        emit("                    rob._occupancy -= 1")
+        emit("                    rob_pt[tid] -= 1")
+        emit("                    head.state = retired_state")
+        emit("                    thread.rob_held -= 1")
+        emit("                    stats.pseudo_retired += 1")
+        emit("                    pipeline._last_commit_cycle = now")
+        emit("                    commit_budget -= 1")
+        emit("                    dest_arch = head.dest_arch")
+        emit("                    if dest_arch == no_reg:")
+        emit("                        continue")
+        emit("                    if dest_arch < nint:")
+        emit("                        klass = 0")
+        emit("                        file = int_file")
+        emit("                    else:")
+        emit("                        klass = 1")
+        emit("                        file = fp_file")
+        emit("                    old = head.old_pdest")
+        emit("                    if old != no_reg and not file.pinned[old]:")
+        emit("                        if not file._allocated[old]:")
+        emit("                            raise SimulationError(")
+        emit("                                f\"{file.name}: double release of p{old}\")")
+        emit("                        file._allocated[old] = False")
+        emit("                        file.waiters[old].clear()")
+        emit("                        file._free.append(old)")
+        emit("                        thread.regs_held[klass] -= 1")
+        # Inlined _recycle_runahead_dest: klass/file/arch_index reuse the
+        # values just computed for the old_pdest release above.
+        emit("                    preg = head.pdest")
+        emit("                    if preg != no_reg and not file.pinned[preg]:")
+        emit("                        arch_index = (dest_arch if klass == 0")
+        emit("                                      else dest_arch - nint)")
+        emit("                        front = thread.rename.front[klass]")
+        emit("                        if front[arch_index] == preg:")
+        emit("                            front[arch_index] = (")
+        emit("                                thread.rename.arch[klass][arch_index])")
+        emit("                            if not file._allocated[preg]:")
+        emit("                                raise SimulationError(")
+        emit("                                    f\"{file.name}: double release"
+             " of p{preg}\")")
+        emit("                            file._allocated[preg] = False")
+        emit("                            file.waiters[preg].clear()")
+        emit("                            file._free.append(preg)")
+        emit("                            thread.regs_held[klass] -= 1")
+        emit("                            thread.arch_inv[dest_arch] = head.invalid")
+        emit("                            head.pdest = no_reg")
+    emit("            if commit_budget <= 0:")
+    emit("                break")
+
+
+def _emit_issue_queue(key: KernelKey, emit, qk: int) -> None:
+    """One unrolled issue-queue block (``take_ready`` + issue inlined).
+
+    The FU-kind lookup ``OP_FU_BY_CODE[inst.op]`` is folded to the
+    queue-kind literal: the OP_QUEUE/OP_FU tables coincide per op code
+    (asserted at import by :mod:`repro.core.kernel_cache`).
+    """
+    ur = key.uses_runahead
+    q = f"q{qk}"
+    emit(f"        ready = {q}._ready")
+    emit("        if ready:")
+    emit(f"            limit = available[{qk}]")
+    emit("            if limit > 0:")
+    emit("                for inst in ready:")
+    emit("                    if inst.state != ready_state:")
+    emit("                        live = [inst for inst in ready")
+    emit("                                if inst.state == ready_state]")
+    emit(f"                        {q}._ready = live")
+    emit("                        break")
+    emit("                else:")
+    emit("                    live = ready")
+    emit("                if live:")
+    emit("                    if len(live) > limit:")
+    emit("                        live.sort(key=inst_age)")
+    emit("                        selected = live[:limit]")
+    emit(f"                        {q}._ready = live[limit:]")
+    emit("                    else:")
+    emit("                        selected = live")
+    emit(f"                        {q}._ready = []")
+    emit(f"                    if {q}._replay_blocked:")
+    emit("                        for inst in selected:")
+    emit("                            if inst.replay:")
+    emit("                                inst.replay = False")
+    emit(f"                                {q}._replay_blocked -= 1")
+    emit("                    for inst in selected:")
+    emit("                        tid = inst.tid")
+    emit("                        thread = threads[tid]")
+    emit("                        if inst.is_load:")
+    load_indent = "                            "
+    if ur:
+        # Inlined _issue_runahead_load (dcache/L2-detect latencies folded;
+        # gate_fetch_until is a max-update, inlined too).
+        emit("                            if thread.mode is ra_mode:")
+        r = "                                "
+        emit(r + "forwarded = load_forward(thread, inst)")
+        emit(r + "if forwarded is not None:")
+        emit(r + "    inst.invalid = not forwarded")
+        emit(r + f"    ccycle = now + {key.dcache_latency}")
+        emit(r + "elif not ra_prefetch:")
+        emit(r + "    level = peek_data(inst.addr)")
+        emit(r + "    if level == \"l1\":")
+        emit(r + f"        ccycle = now + {key.dcache_latency}")
+        emit(r + "    elif level == \"l2\":")
+        emit(r + f"        ccycle = now + {key.l2_detect_latency}")
+        emit(r + "    else:")
+        emit(r + "        inst.invalid = True")
+        emit(r + f"        ccycle = now + {key.l2_detect_latency}")
+        emit(r + "        thread.no_retrigger.add(")
+        emit(r + "            inst.pass_no * thread.retrigger_stride")
+        emit(r + "            + inst.trace_index)")
+        emit(r + "else:")
+        emit(r + "    packed = data_access(inst.addr, False, now,")
+        emit(r + "                         tid, speculative=True)")
+        emit(r + "    if packed < 0:")
+        emit(r + "        inst.invalid = True")
+        emit(r + f"        ccycle = now + {key.dcache_latency}")
+        emit(r + "    elif packed & 2:")
+        emit(r + "        inst.invalid = True")
+        emit(r + f"        ccycle = min(packed >> 2, now + {key.l2_detect_latency})")
+        emit(r + "        if ra_stop_fetch:")
+        emit(r + "            trigger = thread.runahead_trigger_ready")
+        emit(r + "            if trigger > thread.fetch_gated_until:")
+        emit(r + "                thread.fetch_gated_until = trigger")
+        emit(r + "    else:")
+        emit(r + "        ccycle = packed >> 2")
+        emit(r + "inst.complete_cycle = ccycle")
+        emit(r + "bucket = events.get(ccycle)")
+        emit(r + "if bucket is None:")
+        emit(r + "    events[ccycle] = [(0, inst)]")
+        emit(r + "    heappush(heap, ccycle)")
+        emit(r + "else:")
+        emit(r + "    bucket.append((0, inst))")
+        emit("                            else:")
+        load_indent = "                                "
+    p = load_indent
+    emit(p + "packed = data_access(inst.addr, False, now, tid)")
+    emit(p + "if packed < 0:")
+    emit(p + f"    {q}.requeue(inst, replay=True)")
+    emit(p + "    continue")
+    emit(p + "ccycle = packed >> 2")
+    emit(p + "inst.complete_cycle = ccycle")
+    emit(p + "bucket = events.get(ccycle)")
+    emit(p + "if bucket is None:")
+    emit(p + "    events[ccycle] = [(0, inst)]")
+    emit(p + "    heappush(heap, ccycle)")
+    emit(p + "else:")
+    emit(p + "    bucket.append((0, inst))")
+    emit(p + "if packed & 2:")
+    emit(p + f"    detect = min(ccycle, now + {key.l2_detect_latency})")
+    emit(p + "    schedule(detect, 1, inst)")
+    emit("                        elif inst.is_store:")
+    emit("                            ccycle = now + 1")
+    emit("                            inst.complete_cycle = ccycle")
+    emit("                            bucket = events.get(ccycle)")
+    emit("                            if bucket is None:")
+    emit("                                events[ccycle] = [(0, inst)]")
+    emit("                                heappush(heap, ccycle)")
+    emit("                            else:")
+    emit("                                bucket.append((0, inst))")
+    if ur:
+        emit("                            if thread.mode is ra_mode:")
+        emit("                                data_valid = not (inst.src_inv_mask & 2)")
+        emit("                                on_runahead_store(thread, inst, data_valid)")
+        emit("                                if ra_prefetch:")
+        emit("                                    data_access(inst.addr, True, now,")
+        emit("                                                tid, speculative=True)")
+    emit("                        else:")
+    emit("                            ccycle = now + op_latency[inst.op]")
+    emit("                            inst.complete_cycle = ccycle")
+    emit("                            bucket = events.get(ccycle)")
+    emit("                            if bucket is None:")
+    emit("                                events[ccycle] = [(0, inst)]")
+    emit("                                heappush(heap, ccycle)")
+    emit("                            else:")
+    emit("                                bucket.append((0, inst))")
+    emit(f"                        available[{qk}] -= 1")
+    emit(f"                        issued[{qk}] += 1")
+    emit("                        inst.state = issued_state")
+    emit("                        inst.in_iq = False")
+    emit(f"                        {q}.size -= 1")
+    emit(f"                        {q}_pt[tid] -= 1")
+    emit("                        if inst.counted:")
+    emit("                            inst.counted = False")
+    emit("                            thread.icount -= 1")
+    emit("                        stats = thread.stats")
+    emit("                        stats.issued += 1")
+    emit("                        stats.executed += 1")
+    emit("                        gstats.executed += 1")
+
+
+def _emit_macro(key: KernelKey, emit) -> None:
+    """Inlined ``_macro_dispatch``: guards, JIT tiers, both fused loops.
+
+    Structured as a single-pass ``while plan is not None`` block so
+    every abort path can ``break`` to the per-instruction fallback, the
+    exact fall-through semantics of the out-of-line version.
+    """
+    ur_drop = key.uses_runahead and key.ra_fp_inval
+    emit("            if dispatch_budget > 1 and len(fetch_queue) > 1:")
+    emit("                taken = 0")
+    emit("                start = fetch_queue[0].trace_index")
+    emit("                plans = thread.macro_plans")
+    emit("                plan = plans.get(start, plan_missing)")
+    emit("                if plan is plan_missing:")
+    emit(f"                    plan = build_macro_plan(thread, start, {key.width})")
+    emit("                    plans[start] = plan")
+    emit("                while plan is not None:")
+    emit("                    k = plan.length")
+    emit("                    qlen = len(fetch_queue)")
+    emit("                    if qlen < k:")
+    emit("                        k = qlen")
+    emit("                    if dispatch_budget < k:")
+    emit("                        k = dispatch_budget")
+    emit(f"                    headroom = {key.rob_capacity} - rob._occupancy")
+    emit("                    if headroom < k:")
+    emit("                        if headroom < 2:")
+    emit("                            gstats.macro_guard_aborts += 1")
+    emit("                            causes = gstats.macro_abort_causes")
+    emit("                            causes[\"rob\"] = causes.get(\"rob\", 0) + 1")
+    emit("                            break")
+    emit("                        k = headroom")
+    if ur_drop:
+        emit("                    drop_active = thread.mode is ra_mode")
+        emit("                    demands = (plan.runahead_demand if drop_active")
+        emit("                               else plan.normal_demand)")
+    else:
+        emit("                    demands = plan.normal_demand")
+    emit(f"                    room_q0 = {key.iq_caps[0]} - q0.size")
+    emit(f"                    room_q1 = {key.iq_caps[1]} - q1.size")
+    emit(f"                    room_q2 = {key.iq_caps[2]} - q2.size")
+    emit("                    room_d0 = len(int_file._free)")
+    emit("                    room_d1 = len(fp_file._free)")
+    emit("                    need_q0, need_q1, need_q2, need_d0, need_d1 = demands[k]")
+    emit("                    if (need_q0 > room_q0 or need_q1 > room_q1")
+    emit("                            or need_q2 > room_q2 or need_d0 > room_d0")
+    emit("                            or need_d1 > room_d1):")
+    emit("                        while k > 2:")
+    emit("                            k -= 1")
+    emit("                            need_q0, need_q1, need_q2, need_d0, need_d1 = \\")
+    emit("                                demands[k]")
+    emit("                            if (need_q0 <= room_q0 and need_q1 <= room_q1")
+    emit("                                    and need_q2 <= room_q2")
+    emit("                                    and need_d0 <= room_d0")
+    emit("                                    and need_d1 <= room_d1):")
+    emit("                                break")
+    emit("                        else:")
+    emit("                            cause = (\"iq\" if (need_q0 > room_q0")
+    emit("                                              or need_q1 > room_q1")
+    emit("                                              or need_q2 > room_q2)")
+    emit("                                     else \"regfile\")")
+    emit("                            gstats.macro_guard_aborts += 1")
+    emit("                            causes = gstats.macro_abort_causes")
+    emit("                            causes[cause] = causes.get(cause, 0) + 1")
+    emit("                            break")
+    if key.has_macro_ok:
+        emit("                    if not macro_ok(thread, k, now):")
+        emit("                        gstats.macro_guard_aborts += 1")
+        emit("                        causes = gstats.macro_abort_causes")
+        emit("                        causes[\"policy\"] = causes.get(\"policy\", 0) + 1")
+        emit("                        break")
+    emit("                    if fetch_queue[k - 1].trace_index != start + k - 1:")
+    emit("                        gstats.macro_guard_aborts += 1")
+    emit("                        causes = gstats.macro_abort_causes")
+    emit("                        causes[\"desync\"] = causes.get(\"desync\", 0) + 1")
+    emit("                        break")
+    # --- JIT tiers (thresholds read through pipeline_mod so patched
+    # test values reach compiled kernels too) ---
+    drop_expr = "drop_active" if ur_drop else "False"
+    emit("                    if k == plan.length:")
+    if ur_drop:
+        emit("                        if drop_active:")
+        emit("                            handler = plan.jit_runahead")
+        emit("                            if handler is None:")
+        emit("                                hits = plan.hot_runahead = \\")
+        emit("                                    plan.hot_runahead + 1")
+        emit("                                if hits >= pipeline_mod._JIT_THRESHOLD:")
+        emit("                                    handler = plan.jit_runahead = (")
+        emit("                                        compile_macro_handler(plan, True))")
+        emit("                        else:")
+        emit("                            handler = plan.jit_normal")
+        emit("                            if handler is None:")
+        emit("                                hits = plan.hot_normal = \\")
+        emit("                                    plan.hot_normal + 1")
+        emit("                                if hits >= pipeline_mod._JIT_THRESHOLD:")
+        emit("                                    handler = plan.jit_normal = (")
+        emit("                                        compile_macro_handler(plan, False))")
+    else:
+        emit("                        handler = plan.jit_normal")
+        emit("                        if handler is None:")
+        emit("                            hits = plan.hot_normal = plan.hot_normal + 1")
+        emit("                            if hits >= pipeline_mod._JIT_THRESHOLD:")
+        emit("                                handler = plan.jit_normal = (")
+        emit("                                    compile_macro_handler(plan, False))")
+    emit("                        if handler is not None:")
+    emit("                            taken = handler(pipeline, thread, fetch_queue, now)")
+    emit("                            break")
+    emit("                    else:")
+    if ur_drop:
+        emit("                        prefix_key = ((k << 1) | 1 if drop_active")
+        emit("                                      else k << 1)")
+    else:
+        emit("                        prefix_key = k << 1")
+    emit("                        handler = plan.jit_prefix.get(prefix_key)")
+    emit("                        if handler is None:")
+    emit("                            hits = plan.hot_prefix.get(prefix_key, 0) + 1")
+    emit("                            if hits >= pipeline_mod._PREFIX_JIT_THRESHOLD:")
+    emit("                                handler = plan.jit_prefix[prefix_key] = (")
+    emit(f"                                    compile_macro_handler(plan, {drop_expr}, k))")
+    emit("                            else:")
+    emit("                                plan.hot_prefix[prefix_key] = hits")
+    emit("                        if handler is not None:")
+    emit("                            taken = handler(pipeline, thread, fetch_queue, now)")
+    emit("                            break")
+    # --- generic fused tier ---
+    emit("                    rob_queue = rob_queues[tid]")
+    emit("                    rename = thread.rename")
+    emit("                    front0 = rename.front[0]")
+    emit("                    front1 = rename.front[1]")
+    emit("                    arch_inv = thread.arch_inv")
+    emit("                    stats = thread.stats")
+    emit("                    plan_queues = plan.queues")
+    emit("                    plan_store = plan.is_store")
+    emit("                    plan_dest = plan.dest")
+    emit("                    plan_dk = plan.dest_klass")
+    emit("                    plan_dai = plan.dest_aidx")
+    emit("                    plan_s1 = plan.src1")
+    emit("                    plan_s2 = plan.src2")
+    emit("                    popleft = fetch_queue.popleft")
+    emit("                    alloc_int = 0")
+    emit("                    alloc_fp = 0")
+    if ur_drop:
+        emit("                    if drop_active:")
+        emit("                        plan_fp = plan.is_fp")
+        emit("                        arch0 = rename.arch[0]")
+        emit("                        arch1 = rename.arch[1]")
+        emit("                        for position in range(k):")
+        emit("                            inst = popleft()")
+        emit("                            rob_queue.append(inst)")
+        emit("                            if plan_fp[position]:")
+        emit("                                inst.state = completed_state")
+        emit("                                inst.invalid = True")
+        emit("                                inst.complete_cycle = now")
+        emit("                                if inst.counted:")
+        emit("                                    inst.counted = False")
+        emit("                                    thread.icount -= 1")
+        emit("                                dest_arch = plan_dest[position]")
+        emit("                                if dest_arch >= 0:")
+        emit("                                    arch_inv[dest_arch] = True")
+        emit("                                stats.folded += 1")
+        emit("                                continue")
+        emit("                            inst.state = dispatched_state")
+        emit("                            pending = 0")
+        emit("                            mask = 0")
+        emit("                            arch = plan_s1[position]")
+        emit("                            if arch >= 0:")
+        emit("                                if arch_inv[arch]:")
+        emit("                                    mask = 1")
+        emit("                                else:")
+        emit("                                    if arch < nint:")
+        emit("                                        file = int_file")
+        emit("                                        preg = front0[arch]")
+        emit("                                    else:")
+        emit("                                        file = fp_file")
+        emit("                                        preg = front1[arch - nint]")
+        emit("                                    inst.psrc1 = preg")
+        emit("                                    if file.ready[preg] <= now:")
+        emit("                                        if file.inv[preg]:")
+        emit("                                            mask = 1")
+        emit("                                    else:")
+        emit("                                        file.waiters[preg].append(inst)")
+        emit("                                        pending = 1")
+        emit("                            arch = plan_s2[position]")
+        emit("                            if arch >= 0:")
+        emit("                                if arch_inv[arch]:")
+        emit("                                    mask |= 2")
+        emit("                                else:")
+        emit("                                    if arch < nint:")
+        emit("                                        file = int_file")
+        emit("                                        preg = front0[arch]")
+        emit("                                    else:")
+        emit("                                        file = fp_file")
+        emit("                                        preg = front1[arch - nint]")
+        emit("                                    inst.psrc2 = preg")
+        emit("                                    if file.ready[preg] <= now:")
+        emit("                                        if file.inv[preg]:")
+        emit("                                            mask |= 2")
+        emit("                                    else:")
+        emit("                                        file.waiters[preg].append(inst)")
+        emit("                                        pending += 1")
+        emit("                            if pending == 0 and ((mask & 1)")
+        emit("                                    if plan_store[position] else mask):")
+        emit("                                inst.src_inv_mask = mask")
+        emit("                                inst.invalid = True")
+        emit("                                inst.state = completed_state")
+        emit("                                inst.complete_cycle = now")
+        emit("                                if inst.counted:")
+        emit("                                    inst.counted = False")
+        emit("                                    thread.icount -= 1")
+        emit("                                stats.folded += 1")
+        emit("                                dest_arch = plan_dest[position]")
+        emit("                                if dest_arch >= 0:")
+        emit("                                    if plan_dk[position] == 0:")
+        emit("                                        file = int_file")
+        emit("                                        fmap = front0")
+        emit("                                        amap = arch0")
+        emit("                                    else:")
+        emit("                                        file = fp_file")
+        emit("                                        fmap = front1")
+        emit("                                        amap = arch1")
+        emit("                                    free = file._free")
+        emit("                                    preg = free[-1]")
+        emit("                                    used = file.size - len(free) + 1")
+        emit("                                    if used > file.high_water:")
+        emit("                                        file.high_water = used")
+        emit("                                    file.ready[preg] = now")
+        emit("                                    file.inv[preg] = True")
+        emit("                                    arch_index = plan_dai[position]")
+        emit("                                    inst.old_pdest = fmap[arch_index]")
+        emit("                                    fmap[arch_index] = amap[arch_index]")
+        emit("                                    arch_inv[dest_arch] = True")
+        emit("                                continue")
+        emit("                            if pending:")
+        emit("                                inst.pending_srcs = pending")
+        emit("                            if mask:")
+        emit("                                inst.src_inv_mask = mask")
+        emit("                            dest_arch = plan_dest[position]")
+        emit("                            if dest_arch >= 0:")
+        emit("                                if plan_dk[position] == 0:")
+        emit("                                    file = int_file")
+        emit("                                    fmap = front0")
+        emit("                                    alloc_int += 1")
+        emit("                                else:")
+        emit("                                    file = fp_file")
+        emit("                                    fmap = front1")
+        emit("                                    alloc_fp += 1")
+        emit("                                free = file._free")
+        emit("                                preg = free.pop()")
+        emit("                                file._allocated[preg] = True")
+        emit("                                file.ready[preg] = never")
+        emit("                                file.inv[preg] = False")
+        emit("                                file.pinned[preg] = False")
+        emit("                                used = file.size - len(free)")
+        emit("                                if used > file.high_water:")
+        emit("                                    file.high_water = used")
+        emit("                                arch_index = plan_dai[position]")
+        emit("                                inst.pdest = preg")
+        emit("                                inst.old_pdest = fmap[arch_index]")
+        emit("                                fmap[arch_index] = preg")
+        emit("                                arch_inv[dest_arch] = False")
+        emit("                            queue = queues[plan_queues[position]]")
+        emit("                            queue.size += 1")
+        emit("                            queue.per_thread[tid] += 1")
+        emit("                            inst.in_iq = True")
+        emit("                            if pending == 0:")
+        emit("                                inst.state = ready_state")
+        emit("                                queue._ready.append(inst)")
+        normal_indent = "                    else:"
+        emit(normal_indent)
+        loop_prefix = "                        "
+    else:
+        loop_prefix = "                    "
+    emit(loop_prefix + "for position in range(k):")
+    p = loop_prefix + "    "
+    emit(p + "inst = popleft()")
+    emit(p + "rob_queue.append(inst)")
+    emit(p + "inst.state = dispatched_state")
+    emit(p + "pending = 0")
+    emit(p + "mask = 0")
+    emit(p + "arch = plan_s1[position]")
+    emit(p + "if arch >= 0:")
+    emit(p + "    if arch_inv[arch]:")
+    emit(p + "        mask = 1")
+    emit(p + "    else:")
+    emit(p + "        if arch < nint:")
+    emit(p + "            file = int_file")
+    emit(p + "            preg = front0[arch]")
+    emit(p + "        else:")
+    emit(p + "            file = fp_file")
+    emit(p + "            preg = front1[arch - nint]")
+    emit(p + "        inst.psrc1 = preg")
+    emit(p + "        if file.ready[preg] <= now:")
+    emit(p + "            if file.inv[preg]:")
+    emit(p + "                mask = 1")
+    emit(p + "        else:")
+    emit(p + "            file.waiters[preg].append(inst)")
+    emit(p + "            pending = 1")
+    emit(p + "arch = plan_s2[position]")
+    emit(p + "if arch >= 0:")
+    emit(p + "    if arch_inv[arch]:")
+    emit(p + "        mask |= 2")
+    emit(p + "    else:")
+    emit(p + "        if arch < nint:")
+    emit(p + "            file = int_file")
+    emit(p + "            preg = front0[arch]")
+    emit(p + "        else:")
+    emit(p + "            file = fp_file")
+    emit(p + "            preg = front1[arch - nint]")
+    emit(p + "        inst.psrc2 = preg")
+    emit(p + "        if file.ready[preg] <= now:")
+    emit(p + "            if file.inv[preg]:")
+    emit(p + "                mask |= 2")
+    emit(p + "        else:")
+    emit(p + "            file.waiters[preg].append(inst)")
+    emit(p + "            pending += 1")
+    emit(p + "if pending:")
+    emit(p + "    inst.pending_srcs = pending")
+    emit(p + "if mask:")
+    emit(p + "    inst.src_inv_mask = mask")
+    emit(p + "dest_arch = plan_dest[position]")
+    emit(p + "if dest_arch >= 0:")
+    emit(p + "    if plan_dk[position] == 0:")
+    emit(p + "        file = int_file")
+    emit(p + "        fmap = front0")
+    emit(p + "        alloc_int += 1")
+    emit(p + "    else:")
+    emit(p + "        file = fp_file")
+    emit(p + "        fmap = front1")
+    emit(p + "        alloc_fp += 1")
+    emit(p + "    free = file._free")
+    emit(p + "    preg = free.pop()")
+    emit(p + "    file._allocated[preg] = True")
+    emit(p + "    file.ready[preg] = never")
+    emit(p + "    file.inv[preg] = False")
+    emit(p + "    file.pinned[preg] = False")
+    emit(p + "    used = file.size - len(free)")
+    emit(p + "    if used > file.high_water:")
+    emit(p + "        file.high_water = used")
+    emit(p + "    arch_index = plan_dai[position]")
+    emit(p + "    inst.pdest = preg")
+    emit(p + "    inst.old_pdest = fmap[arch_index]")
+    emit(p + "    fmap[arch_index] = preg")
+    emit(p + "    arch_inv[dest_arch] = False")
+    emit(p + "if pending == 0:")
+    emit(p + "    if (mask & 1) if plan_store[position] else mask:")
+    emit(p + "        fold(inst, now)")
+    emit(p + "        continue")
+    emit(p + "    queue = queues[plan_queues[position]]")
+    emit(p + "    queue.size += 1")
+    emit(p + "    queue.per_thread[tid] += 1")
+    emit(p + "    inst.in_iq = True")
+    emit(p + "    inst.state = ready_state")
+    emit(p + "    queue._ready.append(inst)")
+    emit(p + "else:")
+    emit(p + "    queue = queues[plan_queues[position]]")
+    emit(p + "    queue.size += 1")
+    emit(p + "    queue.per_thread[tid] += 1")
+    emit(p + "    inst.in_iq = True")
+    # --- batched counters ---
+    emit("                    rob._occupancy += k")
+    emit("                    rob_pt[tid] += k")
+    emit("                    thread.rob_held += k")
+    emit("                    stats.dispatched += k")
+    emit("                    if alloc_int:")
+    emit("                        thread.regs_held[0] += alloc_int")
+    emit("                    if alloc_fp:")
+    emit("                        thread.regs_held[1] += alloc_fp")
+    emit("                    gstats.macro_steps += 1")
+    emit("                    gstats.macro_insts += k")
+    emit("                    taken = k")
+    emit("                    break")
+    emit("                if taken:")
+    emit("                    dispatch_budget -= taken")
+    emit("                    if dispatch_budget <= 0:")
+    emit("                        break")
+
+
+def _emit_dispatch(key: KernelKey, emit) -> None:
+    """Dispatch stage with ``_dispatch`` itself transcribed inline.
+
+    The per-thread rename hoists (``front0``/``front1``/``arch_inv``) are
+    sound within the stage: runahead entry/exit — the only events that
+    swap a thread's rename maps — happen at commit, earlier in the same
+    cycle, never between two dispatches of one stage pass.
+    """
+    ur = key.uses_runahead
+    sync = pipeline_mod._SYNC_CODE
+    emit(f"        dispatch_budget = {key.width}")
+    emit(f"        for thread in {_rotation_expr(key)}:")
+    emit("            fetch_queue = thread.fetch_queue")
+    emit("            tid = thread.tid")
+    if key.macro_spec:
+        _emit_macro(key, emit)
+    emit("            if dispatch_budget > 0 and fetch_queue:")
+    emit("                robq = rob_queues[tid]")
+    emit("                stats = thread.stats")
+    emit("                arch_inv = thread.arch_inv")
+    emit("                front = thread.rename.front")
+    emit("                front0 = front[0]")
+    emit("                front1 = front[1]")
+    emit("                while dispatch_budget > 0 and fetch_queue:")
+    emit(f"                    if rob._occupancy >= {key.rob_capacity}:")
+    emit("                        gstats.dispatch_stalls += 1")
+    emit("                        break")
+    emit("                    inst = fetch_queue[0]")
+    emit("                    op = inst.op")
+    if ur:
+        if key.ra_fp_inval:
+            emit("                    if thread.mode is ra_mode and (")
+            emit(f"                            is_fp_code[op] or op == {sync}):")
+        else:
+            emit(f"                    if thread.mode is ra_mode and op == {sync}:")
+        emit("                        robq.append(inst)")
+        emit("                        rob._occupancy += 1")
+        emit("                        rob_pt[tid] += 1")
+        emit("                        thread.rob_held += 1")
+        emit("                        inst.state = completed_state")
+        emit("                        inst.invalid = True")
+        emit("                        inst.complete_cycle = now")
+        emit("                        if inst.counted:")
+        emit("                            inst.counted = False")
+        emit("                            thread.icount -= 1")
+        if key.ra_fp_inval:
+            emit("                        if (is_fp_code[op]")
+            emit("                                and inst.dest_arch != no_reg):")
+            emit("                            arch_inv[inst.dest_arch] = True")
+        emit("                        stats.dispatched += 1")
+        emit("                        stats.folded += 1")
+        emit("                        fetch_queue.popleft()")
+        emit("                        dispatch_budget -= 1")
+        emit("                        continue")
+    emit("                    qk = op_queue[op]")
+    emit("                    queue = queues[qk]")
+    emit("                    if queue.size >= iq_caps[qk]:")
+    emit("                        gstats.dispatch_stalls += 1")
+    emit("                        break")
+    emit("                    dest_arch = inst.dest_arch")
+    emit("                    if dest_arch != no_reg:")
+    emit("                        dest_file = (int_file if dest_arch < nint")
+    emit("                                     else fp_file)")
+    emit("                        if not dest_file._free:")
+    emit("                            gstats.dispatch_stalls += 1")
+    emit("                            break")
+    emit("                    else:")
+    emit("                        dest_file = None")
+    emit("                    robq.append(inst)")
+    emit("                    rob._occupancy += 1")
+    emit("                    rob_pt[tid] += 1")
+    emit("                    thread.rob_held += 1")
+    emit("                    inst.state = dispatched_state")
+    emit("                    stats.dispatched += 1")
+    emit("                    pending = 0")
+    emit("                    arch = inst.src1_arch")
+    emit("                    if arch != no_reg:")
+    emit("                        if arch_inv[arch]:")
+    emit("                            inst.src_inv_mask |= 1")
+    emit("                        else:")
+    emit("                            if arch < nint:")
+    emit("                                file = int_file")
+    emit("                                preg = front0[arch]")
+    emit("                            else:")
+    emit("                                file = fp_file")
+    emit("                                preg = front1[arch - nint]")
+    emit("                            inst.psrc1 = preg")
+    emit("                            if file.ready[preg] <= now:")
+    emit("                                if file.inv[preg]:")
+    emit("                                    inst.src_inv_mask |= 1")
+    emit("                            else:")
+    emit("                                file.waiters[preg].append(inst)")
+    emit("                                pending += 1")
+    emit("                    arch = inst.src2_arch")
+    emit("                    if arch != no_reg:")
+    emit("                        if arch_inv[arch]:")
+    emit("                            inst.src_inv_mask |= 2")
+    emit("                        else:")
+    emit("                            if arch < nint:")
+    emit("                                file = int_file")
+    emit("                                preg = front0[arch]")
+    emit("                            else:")
+    emit("                                file = fp_file")
+    emit("                                preg = front1[arch - nint]")
+    emit("                            inst.psrc2 = preg")
+    emit("                            if file.ready[preg] <= now:")
+    emit("                                if file.inv[preg]:")
+    emit("                                    inst.src_inv_mask |= 2")
+    emit("                            else:")
+    emit("                                file.waiters[preg].append(inst)")
+    emit("                                pending += 1")
+    emit("                    inst.pending_srcs = pending")
+    emit("                    if dest_file is not None:")
+    emit("                        free = dest_file._free")
+    emit("                        preg = free.pop()")
+    emit("                        dest_file._allocated[preg] = True")
+    emit("                        dest_file.ready[preg] = never")
+    emit("                        dest_file.inv[preg] = False")
+    emit("                        dest_file.pinned[preg] = False")
+    emit("                        used = dest_file.size - len(free)")
+    emit("                        if used > dest_file.high_water:")
+    emit("                            dest_file.high_water = used")
+    emit("                        if dest_arch < nint:")
+    emit("                            klass = 0")
+    emit("                            arch_index = dest_arch")
+    emit("                            fmap = front0")
+    emit("                        else:")
+    emit("                            klass = 1")
+    emit("                            arch_index = dest_arch - nint")
+    emit("                            fmap = front1")
+    emit("                        inst.pdest = preg")
+    emit("                        inst.old_pdest = fmap[arch_index]")
+    emit("                        fmap[arch_index] = preg")
+    emit("                        thread.regs_held[klass] += 1")
+    emit("                        arch_inv[dest_arch] = False")
+    emit("                    queue.size += 1")
+    emit("                    queue.per_thread[tid] += 1")
+    emit("                    inst.in_iq = True")
+    emit("                    if pending == 0:")
+    emit("                        mask = inst.src_inv_mask")
+    emit("                        if (mask & 1) if inst.is_store else mask:")
+    emit("                            fold(inst, now)")
+    emit("                        else:")
+    emit("                            inst.state = ready_state")
+    emit("                            queue._ready.append(inst)")
+    emit("                    fetch_queue.popleft()")
+    emit("                    dispatch_budget -= 1")
+    emit("            if dispatch_budget <= 0:")
+    emit("                break")
+    emit("        if fold_worklist:")
+    emit("            drain_folds(now)")
+
+
+def _emit_fetch(key: KernelKey, emit) -> None:
+    ur = key.uses_runahead
+    emit("        order = fetch_order(now)")
+    emit("        fetched_total = 0")
+    emit("        threads_used = 0")
+    emit("        for tid in order:")
+    emit(f"            if threads_used >= {key.fetch_threads}:")
+    emit("                break")
+    emit(f"            if fetched_total >= {key.width}:")
+    emit("                break")
+    emit("            thread = threads[tid]")
+    emit("            if (now < thread.fetch_blocked_until")
+    emit("                    or now < thread.fetch_gated_until):")
+    emit("                gstats.fetch_conflicts += 1")
+    emit("                continue")
+    emit("            fetch_queue = thread.fetch_queue")
+    emit(f"            buffer_room = {key.fetch_buffer} - len(fetch_queue)")
+    emit("            if buffer_room <= 0:")
+    emit("                continue")
+    emit(f"            limit = {key.width} - fetched_total")
+    emit("            if buffer_room < limit:")
+    emit("                limit = buffer_room")
+    emit("            count = 0")
+    emit(f"            icache_done = now + {key.icache_latency}")
+    emit("            stats = thread.stats")
+    emit("            gseq = pipeline._gseq")
+    emit("            pcs_off = thread.pcs_off")
+    emit("            lines = thread.fetch_lines")
+    emit("            ops = thread.ops")
+    emit("            dests = thread.dests")
+    emit("            src1s = thread.src1s")
+    emit("            src2s = thread.src2s")
+    emit("            addrs = thread.addrs")
+    emit("            takens = thread.takens")
+    emit("            data_base = thread.data_base")
+    emit("            pass_stride = thread._pass_stride")
+    emit("            data_region = thread.data_region")
+    emit("            trace_len = len(ops)")
+    if ur:
+        emit("            in_runahead = thread.mode is ra_mode")
+    emit("            seq = thread.seq")
+    emit("            cursor = thread.cursor")
+    emit("            append = fetch_queue.append")
+    emit("            while count < limit:")
+    emit("                line = lines[cursor]")
+    emit("                if line != thread.fetch_line:")
+    if ur:
+        emit("                    complete = ifetch_packed(")
+        emit("                        pcs_off[cursor], now, tid,")
+        emit("                        speculative=in_runahead) >> 2")
+    else:
+        emit("                    complete = ifetch_packed(")
+        emit("                        pcs_off[cursor], now, tid,")
+        emit("                        speculative=False) >> 2")
+    emit("                    thread.fetch_line = line")
+    emit("                    if complete > icache_done:")
+    emit("                        if complete > thread.fetch_blocked_until:")
+    emit("                            thread.fetch_blocked_until = complete")
+    emit("                        break")
+    emit("                pc = pcs_off[cursor]")
+    emit("                pass_no = thread.pass_no")
+    emit("                inst = DynInst(")
+    emit("                    tid, seq, cursor, pass_no,")
+    emit("                    ops[cursor], pc, 0,")
+    emit("                    dests[cursor], src1s[cursor], src2s[cursor],")
+    emit("                    takens[cursor],")
+    emit("                )")
+    emit("                inst.gseq = gseq")
+    emit("                gseq += 1")
+    emit("                if inst.is_mem:")
+    emit("                    inst.addr = data_base + (")
+    emit("                        (addrs[cursor] + pass_no * pass_stride)")
+    emit("                        % data_region)")
+    if ur:
+        emit("                inst.runahead = in_runahead")
+    emit("                seq += 1")
+    emit("                cursor += 1")
+    emit("                if cursor >= trace_len:")
+    emit("                    cursor = 0")
+    emit("                    thread.pass_no = pass_no + 1")
+    emit("                inst.counted = True")
+    emit("                append(inst)")
+    emit("                count += 1")
+    emit("                if inst.is_branch:")
+    emit("                    stats.branches += 1")
+    emit("                    correct = predictor_predict(tid, pc, inst.taken)")
+    emit("                    inst.mispredicted = not correct")
+    emit("                    if inst.taken:")
+    emit("                        if not btb_lookup(pc):")
+    emit("                            blocked = now + 2")
+    emit("                            if blocked > thread.fetch_blocked_until:")
+    emit("                                thread.fetch_blocked_until = blocked")
+    emit("                        break")
+    emit("            thread.cursor = cursor")
+    emit("            if count:")
+    emit("                pipeline._gseq = gseq")
+    emit("                thread.seq = seq")
+    emit("                thread.icount += count")
+    emit("                stats.fetched += count")
+    emit("                fetched_total += count")
+    emit("                threads_used += 1")
+
+
+def _emit_sample(key: KernelKey, emit) -> None:
+    for i in range(key.num_threads):
+        emit(f"        held = t{i}_held[0] + t{i}_held[1]")
+        if key.uses_runahead:
+            emit(f"        if t{i}.mode is ra_mode:")
+            emit(f"            t{i}_stats.runahead_cycles += 1")
+            emit(f"            t{i}_stats.runahead_reg_samples += 1")
+            emit(f"            t{i}_stats.runahead_regs_held += held")
+            emit("        else:")
+            emit(f"            t{i}_stats.normal_reg_samples += 1")
+            emit(f"            t{i}_stats.normal_regs_held += held")
+        else:
+            emit(f"        t{i}_stats.normal_reg_samples += 1")
+            emit(f"        t{i}_stats.normal_regs_held += held")
+    emit("        gstats.cycles += 1")
+
+
+def emit_kernel_source(key: KernelKey) -> str:
+    """Emit the full specialized run-loop source for one machine shape."""
+    out = []
+    emit = out.append
+    emit("from heapq import heappop as heap_pop")
+    emit("")
+    emit("")
+    emit("def _kernel_run(pipeline, min_passes, cap,")
+    emit("                squashed_state=SQUASHED):")
+    _emit_hoists(key, emit)
+    emit("    while True:")
+    done = " and ".join(f"t{i}.finished_passes >= min_passes"
+                        for i in range(key.num_threads))
+    emit(f"        if {done}:")
+    emit("            return False")
+    emit("        if cycle >= cap:")
+    emit("            return True")
+    emit("        now = cycle")
+    if key.skip_enabled:
+        emit("        gseq_before = pipeline._gseq")
+        emit("        committed_before = gstats.committed")
+        emit("        executed_before = gstats.executed")
+    emit("        # ---- step: FU reset + events ----")
+    emit(f"        available[0] = {key.fu_caps[0]}")
+    emit(f"        available[1] = {key.fu_caps[1]}")
+    emit(f"        available[2] = {key.fu_caps[2]}")
+    _emit_events(key, emit)
+    if key.has_on_cycle:
+        emit("        policy_on_cycle(now)")
+    emit("        # ---- commit stage ----")
+    _emit_commit(key, emit)
+    emit("        # ---- issue stage ----")
+    for qk in (2, 0, 1):
+        _emit_issue_queue(key, emit, qk)
+    emit("        if fold_worklist:")
+    emit("            drain_folds(now)")
+    emit("        # ---- dispatch stage ----")
+    _emit_dispatch(key, emit)
+    emit("        # ---- fetch stage ----")
+    _emit_fetch(key, emit)
+    emit("        # ---- stat sampling ----")
+    _emit_sample(key, emit)
+    emit("        cycle = now + 1")
+    emit("        pipeline.cycle = cycle")
+    emit("        if now - pipeline._last_commit_cycle > DEADLOCK_WINDOW:")
+    emit("            raise DeadlockError(now,")
+    emit("                                \"no instruction committed recently\")")
+    if key.skip_enabled:
+        emit("        # ---- advance: quiescence precheck + skip ----")
+        emit("        if (pipeline._gseq != gseq_before")
+        emit("                or gstats.committed != committed_before")
+        emit("                or gstats.executed != executed_before):")
+        emit("            continue")
+        emit("        target = skip_target(cycle, cap)")
+        emit("        if target > cycle:")
+        emit("            skip_to(cycle, target)")
+        emit("            cycle = target")
+    return "\n".join(out) + "\n"

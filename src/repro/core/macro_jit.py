@@ -33,9 +33,17 @@ plan may be shared by every pipeline running its trace at the same
 width; pipeline-specific objects all arrive via the call arguments.
 
 Compilation costs ~1 ms per handler, so plans only compile after
-:data:`JIT_THRESHOLD` full-length guarded executions — cold plans (and
-truncated runs) keep using the generic fused loop, exactly like a
-tracing JIT's interpreter tier.
+:data:`JIT_THRESHOLD` full-length guarded executions — cold plans keep
+using the generic fused loop, exactly like a tracing JIT's interpreter
+tier.
+
+Truncated runs compile too: when the entry guards repeatedly clamp the
+same plan to the same prefix length ``k < plan.length`` (a budget or
+headroom pattern that recurs every pass), the pair ``(k, drop_active)``
+accumulates its own hit counter on the plan and compiles at
+:data:`PREFIX_JIT_THRESHOLD`.  A prefix handler is the full-length
+emission stopped after ``k`` positions — the per-position bodies are
+independent, so the transcription contract is unchanged.
 """
 
 from __future__ import annotations
@@ -54,12 +62,23 @@ from ..isa import NUM_INT_ARCH_REGS
 #: (tests force compilation by patching the pipeline's imported copy).
 JIT_THRESHOLD = 512
 
+#: Guarded executions of one *truncated* prefix ``(length, drop_active)``
+#: before that prefix compiles.  Higher than :data:`JIT_THRESHOLD`
+#: because a prefix handler is narrower (fewer positions amortize each
+#: call) and one plan can accumulate several prefix variants — compile
+#: only the ones a steady-state clamp pattern actually replays.
+PREFIX_JIT_THRESHOLD = 768
+
 _NINT = NUM_INT_ARCH_REGS
 
 
-def _emit_source(plan, runahead: bool) -> str:
-    """Generate the specialized handler source for one plan variant."""
-    length = plan.length
+def _emit_source(plan, runahead: bool, length=None) -> str:
+    """Generate the handler source for one plan variant.
+
+    ``length`` truncates emission to the first ``length`` positions (a
+    hot prefix); ``None`` emits the full-length handler.
+    """
+    length = plan.length if length is None else length
     drops = tuple(runahead and plan.is_fp[i] for i in range(length))
     live = tuple(i for i in range(length) if not drops[i])
 
@@ -239,9 +258,13 @@ def _emit_source(plan, runahead: bool) -> str:
     return "\n".join(out)
 
 
-def compile_macro_handler(plan, runahead: bool):
-    """Compile one plan variant into its specialized handler function."""
-    source = _emit_source(plan, runahead)
+def compile_macro_handler(plan, runahead: bool, length=None):
+    """Compile one plan variant into its specialized handler function.
+
+    ``length`` selects a truncated-prefix handler (see module
+    docstring); ``None`` compiles the full-length run.
+    """
+    source = _emit_source(plan, runahead, length)
     namespace = {
         "DISPATCHED": InstState.DISPATCHED,
         "READY": InstState.READY,

@@ -42,6 +42,7 @@ from .rob import SharedROB
 from .runahead import RunaheadController
 from .stats import GlobalStats
 from .macro_jit import JIT_THRESHOLD as _JIT_THRESHOLD
+from .macro_jit import PREFIX_JIT_THRESHOLD as _PREFIX_JIT_THRESHOLD
 from .macro_jit import compile_macro_handler
 from .thread import ThreadContext, ThreadMode, build_macro_plan
 
@@ -1159,9 +1160,12 @@ class SMTPipeline:
         # --- all guards hold ---
         # JIT tier: a full-length run on a hot plan executes through its
         # specialized compiled handler (constants baked in, loop
-        # unrolled); truncated runs and cold plans take the generic
-        # fused loop below.  Both are statement-for-statement
-        # transcriptions of _dispatch — bit-identical by construction.
+        # unrolled); a *recurring* truncation length accumulates its own
+        # per-(k, variant) counter and compiles a prefix handler (the
+        # full emission stopped after k positions).  Cold plans and cold
+        # prefixes take the generic fused loop below.  All tiers are
+        # statement-for-statement transcriptions of _dispatch —
+        # bit-identical by construction.
         if k == plan.length:
             if drop_active:
                 handler = plan.jit_runahead
@@ -1177,6 +1181,18 @@ class SMTPipeline:
                     if hits >= _JIT_THRESHOLD:
                         handler = plan.jit_normal = (
                             compile_macro_handler(plan, False))
+            if handler is not None:
+                return handler(self, thread, fetch_queue, now)
+        else:
+            prefix_key = (k << 1) | 1 if drop_active else k << 1
+            handler = plan.jit_prefix.get(prefix_key)
+            if handler is None:
+                hits = plan.hot_prefix.get(prefix_key, 0) + 1
+                if hits >= _PREFIX_JIT_THRESHOLD:
+                    handler = plan.jit_prefix[prefix_key] = (
+                        compile_macro_handler(plan, drop_active, k))
+                else:
+                    plan.hot_prefix[prefix_key] = hits
             if handler is not None:
                 return handler(self, thread, fetch_queue, now)
 

@@ -236,22 +236,13 @@ class SMTProcessor:
         if min_passes < 1:
             raise SimulationError("min_passes must be >= 1")
         cap = max_cycles if max_cycles is not None else self.config.max_cycles
-        pipeline = self.pipeline
-        threads = pipeline.threads
-        advance = pipeline.advance
-        truncated = False
-        # Plain loop rather than any(genexpr): this termination test runs
-        # once per simulated cycle.
-        while True:
-            for thread in threads:
-                if thread.finished_passes < min_passes:
-                    break
-            else:
-                break
-            if pipeline.cycle >= cap:
-                truncated = True
-                break
-            advance(cap)
+        # Late import: the kernel registry lives in repro.sim (it is a
+        # selection concern, beside the executor registry), which pulls
+        # config/cli-adjacent modules the core package must not depend
+        # on at import time.
+        from ..sim.kernels import resolve_run_loop
+        run_loop = resolve_run_loop(self.pipeline)
+        truncated = run_loop(self.pipeline, min_passes, cap)
         return self._result(truncated)
 
     def _result(self, truncated: bool) -> SimResult:

@@ -82,7 +82,7 @@ class MacroPlan:
                  "dest", "dest_klass", "dest_aidx", "src1", "src2",
                  "is_fp", "is_store", "normal_demand", "runahead_demand",
                  "jit_normal", "jit_runahead", "hot_normal",
-                 "hot_runahead")
+                 "hot_runahead", "jit_prefix", "hot_prefix")
 
     def __init__(self, start: int, codes, dests, src1s, src2s) -> None:
         length = len(codes)
@@ -126,6 +126,11 @@ class MacroPlan:
         self.jit_runahead = None
         self.hot_normal = 0
         self.hot_runahead = 0
+        #: Truncated-prefix tier: handlers and hit counters keyed by
+        #: ``(k << 1) | drop_active`` for recurring clamp lengths
+        #: ``2 <= k < length`` (compiled at ``PREFIX_JIT_THRESHOLD``).
+        self.jit_prefix = {}
+        self.hot_prefix = {}
 
 
 def build_macro_plan(thread: "ThreadContext", start: int,

@@ -65,12 +65,22 @@ def _run(policy, benchmarks, trace_len, seed, cycle_skip,
     return result, processor.pipeline
 
 
+@pytest.fixture(params=["python", "specialized"])
+def kernel_tier(request, monkeypatch):
+    """Fuzz each cell under both run-loop tiers: under ``specialized``
+    the skip-on/skip-off pair exercises two *different* generated
+    kernels (the key folds ``skip_enabled``), so this doubles as a
+    cross-kernel equivalence check."""
+    monkeypatch.setenv("REPRO_KERNEL", request.param)
+    return request.param
+
+
 @pytest.mark.parametrize(
     "threads,policy,benchmarks,trace_len,seed", CELLS,
     ids=[f"{t}x-{p}-{'+'.join(b)}-len{n}-s{s}"
          for t, p, b, n, s in CELLS])
-def test_advance_matches_step(threads, policy, benchmarks, trace_len,
-                              seed):
+def test_advance_matches_step(kernel_tier, threads, policy, benchmarks,
+                              trace_len, seed):
     stepped, _ = _run(policy, benchmarks, trace_len, seed, False)
     skipped, pipeline = _run(policy, benchmarks, trace_len, seed, True)
     assert skipped.to_dict() == stepped.to_dict(), (
@@ -81,7 +91,7 @@ def test_advance_matches_step(threads, policy, benchmarks, trace_len,
 
 
 @pytest.mark.parametrize("policy", ["icount", "stall", "rat"])
-def test_advance_matches_step_under_mshr_pressure(policy):
+def test_advance_matches_step_under_mshr_pressure(kernel_tier, policy):
     """A tiny MSHR file forces rejected-load replay windows, the case the
     intra-thread (memory-wait) skip horizon covers."""
     benchmarks = ("art", "mcf")

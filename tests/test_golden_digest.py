@@ -98,14 +98,27 @@ def test_golden_file_matches_matrix(golden):
     assert sorted(golden["digests"]) == sorted(GOLDEN_CELLS)
 
 
+@pytest.fixture(params=["python", "specialized"])
+def kernel_tier(request, monkeypatch):
+    """Run the depending test once per kernel tier.
+
+    The digests were recorded long before the specialized tier existed,
+    so a pass under ``specialized`` proves the generated kernels are
+    bit-identical to the original pipeline, not merely to each other.
+    """
+    monkeypatch.setenv("REPRO_KERNEL", request.param)
+    return request.param
+
+
 @pytest.mark.parametrize("cell_id", sorted(GOLDEN_CELLS))
-def test_simresult_bit_identical(golden, cell_id):
+def test_simresult_bit_identical(golden, kernel_tier, cell_id):
     result = simulate_golden_cell(cell_id)
     expected = golden["digests"][cell_id]
     actual = digest_of(result)
     assert actual == expected, (
         f"{cell_id}: SimResult diverged from the pre-optimization "
-        f"pipeline (digest {actual} != {expected}).  If the semantic "
+        f"pipeline under the {kernel_tier!r} kernel tier "
+        f"(digest {actual} != {expected}).  If the semantic "
         f"change is intentional, re-record (see module docstring) and "
         f"bump CODE_VERSION_SALT.")
 

@@ -1,0 +1,196 @@
+"""The kernel registry and the specializing tier's machinery.
+
+Bit-identity of the generated kernels is pinned elsewhere (the golden
+digests and the advance-vs-step fuzz both run per tier); this module
+covers the *selection* machinery: the ``REPRO_KERNEL`` knob, the CLI
+flag, fallback for uncovered policies (never an error), per-process
+memoization by machine shape, per-``run()`` re-resolution of the
+mutable key folds, and knob propagation into process-pool workers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.config import KERNEL_ENV_VAR, baseline, kernel_mode
+from repro.core.kernel_cache import (cache_info, clear_cache,
+                                     specialized_run_loop)
+from repro.core.kernel_gen import specialization_key
+from repro.core.processor import SMTProcessor
+from repro.errors import ConfigError
+from repro.policies.icount import ICountPolicy
+from repro.sim.kernels import (kernel_names, python_run_loop,
+                               resolve_run_loop)
+from repro.trace.generator import generate_trace
+
+
+def _processor(policy="icount", benchmarks=("art", "mcf"),
+               trace_len=200, **overrides):
+    traces = [generate_trace(name, trace_len, 1) for name in benchmarks]
+    return SMTProcessor(baseline().with_policy(policy, **overrides),
+                        traces)
+
+
+# --- the environment knob ---------------------------------------------------
+
+
+def test_kernel_mode_env_values(monkeypatch):
+    monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)
+    assert kernel_mode() == "auto"
+    for value in ("auto", "python", "specialized", " PYTHON "):
+        monkeypatch.setenv(KERNEL_ENV_VAR, value)
+        assert kernel_mode() == value.strip().lower()
+    monkeypatch.setenv(KERNEL_ENV_VAR, "fortran")
+    with pytest.raises(ConfigError):
+        kernel_mode()
+
+
+def test_cli_kernel_flag_sets_env(monkeypatch):
+    from repro.cli import _apply_speculate, build_parser
+    monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)
+    args = build_parser().parse_args(["table1", "--kernel", "python"])
+    _apply_speculate(args)
+    assert os.environ[KERNEL_ENV_VAR] == "python"
+    # absent flag leaves the environment alone
+    monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)
+    _apply_speculate(build_parser().parse_args(["table1"]))
+    assert KERNEL_ENV_VAR not in os.environ
+
+
+def test_bench_cli_takes_kernel_flag():
+    from repro.cli import build_bench_parser
+    args = build_bench_parser().parse_args(["--quick", "--kernel",
+                                            "specialized"])
+    assert args.kernel == "specialized"
+
+
+# --- registry + selection ---------------------------------------------------
+
+
+def test_registered_tiers():
+    assert kernel_names() == ("python", "specialized")
+
+
+def test_python_mode_forces_portable_loop(monkeypatch):
+    monkeypatch.setenv(KERNEL_ENV_VAR, "python")
+    processor = _processor()
+    assert resolve_run_loop(processor.pipeline) is python_run_loop
+
+
+def test_auto_selects_specialized_for_covered_shape(monkeypatch):
+    monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)
+    processor = _processor()
+    loop = resolve_run_loop(processor.pipeline)
+    assert loop is not python_run_loop
+    assert loop.__kernel_key__ == specialization_key(processor.pipeline)
+
+
+def test_resolution_rereads_mutable_switches(monkeypatch):
+    """``cycle_skip`` is a mutable pipeline flag tests flip between
+    runs; the key folds it, so re-resolving must yield the matching
+    kernel variant, not the memoized first one."""
+    monkeypatch.setenv(KERNEL_ENV_VAR, "specialized")
+    processor = _processor()
+    with_skip = resolve_run_loop(processor.pipeline)
+    processor.pipeline.cycle_skip = False
+    without_skip = resolve_run_loop(processor.pipeline)
+    assert with_skip is not without_skip
+    assert with_skip.__kernel_key__.skip_enabled
+    assert not without_skip.__kernel_key__.skip_enabled
+
+
+# --- fallback: a request, never an error ------------------------------------
+
+
+class OpaqueFetchOrder(ICountPolicy):
+    """A third-party policy: overrides a kernel-folded hook outside
+    ``repro.policies``, so the generator must refuse coverage."""
+
+    def fetch_order(self, cycle):
+        return list(reversed(super().fetch_order(cycle)))
+
+
+def test_uncovered_policy_falls_back_to_python(monkeypatch):
+    monkeypatch.setenv(KERNEL_ENV_VAR, "specialized")
+    traces = [generate_trace("art", 200, 1)]
+    config = baseline()
+    processor = SMTProcessor(config, traces,
+                             policy=OpaqueFetchOrder(config))
+    assert specialization_key(processor.pipeline) is None
+    assert specialized_run_loop(processor.pipeline) is None
+    assert resolve_run_loop(processor.pipeline) is python_run_loop
+    # ...and the run itself completes: tier selection never errors.
+    result = processor.run(min_passes=1, max_cycles=200_000)
+    assert result.total_committed > 0
+
+
+def test_fallback_matches_python_tier(monkeypatch):
+    """The fallback is the python tier, bit for bit."""
+    results = {}
+    for mode in ("python", "specialized"):
+        monkeypatch.setenv(KERNEL_ENV_VAR, mode)
+        traces = [generate_trace("art", 200, 1)]
+        config = baseline()
+        processor = SMTProcessor(config, traces,
+                                 policy=OpaqueFetchOrder(config))
+        results[mode] = processor.run(min_passes=1,
+                                      max_cycles=200_000).to_dict()
+    assert results["python"] == results["specialized"]
+
+
+# --- memoization ------------------------------------------------------------
+
+
+def test_kernels_memoized_per_shape():
+    clear_cache()
+    first = specialized_run_loop(_processor().pipeline)
+    second = specialized_run_loop(_processor().pipeline)
+    assert first is second
+    assert len(cache_info()) == 1
+    # A different machine shape compiles (and caches) a second kernel.
+    other = specialized_run_loop(
+        _processor(policy="rat", benchmarks=("art",)).pipeline)
+    assert other is not first
+    assert len(cache_info()) == 2
+
+
+def test_kernel_source_attached():
+    loop = specialized_run_loop(_processor().pipeline)
+    assert "def _kernel_run(" in loop.__kernel_source__
+    compile(loop.__kernel_source__, "<kernel-gen>", "exec")  # re-parses
+
+
+# --- knob propagation into workers ------------------------------------------
+
+
+def test_process_pool_workers_inherit_kernel_choice(monkeypatch):
+    """The tier request travels to process-pool workers via the
+    environment, like ``REPRO_SPECULATE``; the pooled results must be
+    bit-identical to a serial python-tier run."""
+    from repro.sim.engine import SimEngine, SweepCell
+    from repro.sim.executors import ProcessPoolBackend, SerialBackend
+    from repro.sim.runner import RunSpec
+    from repro.trace.workloads import Workload
+
+    spec = RunSpec(trace_len=240, seed=3, max_cycles=200_000)
+    cells = [
+        SweepCell.make(Workload("MEM2", ("art", "mcf")), "icount",
+                       spec=spec),
+        SweepCell.make(Workload("MEM2", ("art", "mcf")), "rat",
+                       spec=spec),
+    ]
+
+    def fingerprints(runs):
+        return [json.dumps(run.result.to_dict(), sort_keys=True)
+                for run in runs]
+
+    monkeypatch.setenv(KERNEL_ENV_VAR, "python")
+    reference = fingerprints(
+        SimEngine(backend=SerialBackend()).run_cells(cells))
+    monkeypatch.setenv(KERNEL_ENV_VAR, "specialized")
+    pooled = fingerprints(
+        SimEngine(backend=ProcessPoolBackend(jobs=2)).run_cells(cells))
+    assert pooled == reference

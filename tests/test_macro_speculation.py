@@ -177,6 +177,25 @@ def test_truncated_runs_dispatch_partially():
     assert pipeline.gstats.macro_steps > 0
 
 
+def test_prefix_jit_tier_forced(monkeypatch):
+    """Threshold 1 compiles truncated-prefix handlers: the chronically
+    squeezed machine of the previous test re-runs the same plan at the
+    same shortened length often enough that the per-(plan, length)
+    counter fires, and the compiled prefix handlers must stay
+    bit-identical with the per-stage path."""
+    monkeypatch.setattr(pipeline_mod, "_PREFIX_JIT_THRESHOLD", 1)
+    pipeline = _identical("rat", ("art", "mcf"), 400, 7,
+                          rob_size=24, ls_iq_size=6)
+    compiled = sum(
+        len(plan.jit_prefix)
+        for thread in pipeline.threads
+        for plan in thread.macro_plans.values()
+        if plan is not None)
+    assert compiled > 0, (
+        "test premise broken: threshold 1 compiled no prefix handler; "
+        "did the truncated-dispatch trigger move?")
+
+
 # --- the environment knob ---------------------------------------------------
 
 
