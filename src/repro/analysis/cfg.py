@@ -1,0 +1,133 @@
+"""A small statement-level control-flow graph for the effect rules.
+
+:mod:`repro.analysis.effects` needs one graph question answered: *from
+this statement, can control later reach that one without re-entering a
+loop?*  (The macro-dispatch contract is per-entry — "no machine
+mutation before the guards have all passed **this attempt**" — so a
+mutation followed by an abort only via a loop back edge is compliant.)
+
+The graph is deliberately minimal: nodes are the statements of one
+function body (compound statements contribute their header), edges are
+fall-through/branch/loop successors, and ``try``/``with`` are treated
+as linear regions (the hot functions under analysis are exception-free
+by the hot-path rule; a ``raise`` simply terminates its path).  Back
+edges are identified structurally after construction: an edge into a
+loop header from a statement inside that loop's own body is a back
+edge, and nothing else is.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Set, Tuple
+
+#: Sentinel successor: control leaves the analyzed region.
+EXIT = "exit"
+
+
+class CFG:
+    """Successor graph over the statements of one region."""
+
+    def __init__(self) -> None:
+        self.nodes: Dict[int, ast.stmt] = {}
+        self.succ: Dict[int, Set] = {}
+        self.back_edges: Set[Tuple[int, int]] = set()
+        self._loop_members: Dict[int, Set[int]] = {}
+
+    def _note(self, stmt: ast.stmt) -> int:
+        nid = id(stmt)
+        self.nodes[nid] = stmt
+        self.succ.setdefault(nid, set())
+        return nid
+
+    def _edge(self, source: int, target) -> None:
+        self.succ[source].add(target)
+
+    def _sequence(self, stmts, follow, break_to, continue_to):
+        """Wire ``stmts`` so the last falls through to ``follow``;
+        return the entry point of the sequence."""
+        entry = follow
+        for stmt in reversed(list(stmts)):
+            entry = self._statement(stmt, entry, break_to, continue_to)
+        return entry
+
+    def _statement(self, stmt: ast.stmt, follow, break_to, continue_to):
+        nid = self._note(stmt)
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            self._edge(nid, EXIT)
+        elif isinstance(stmt, ast.Break):
+            self._edge(nid, EXIT if break_to is None else break_to)
+        elif isinstance(stmt, ast.Continue):
+            self._edge(nid, EXIT if continue_to is None else continue_to)
+        elif isinstance(stmt, ast.If):
+            self._edge(nid, self._sequence(stmt.body, follow,
+                                           break_to, continue_to))
+            self._edge(nid, self._sequence(stmt.orelse, follow,
+                                           break_to, continue_to))
+        elif isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            members = {nid}
+            for child in stmt.body:
+                for node in ast.walk(child):
+                    if isinstance(node, ast.stmt):
+                        members.add(id(node))
+            self._loop_members[nid] = members
+            loop_exit = self._sequence(stmt.orelse, follow,
+                                       break_to, continue_to)
+            body = self._sequence(stmt.body, nid, break_to=follow,
+                                  continue_to=nid)
+            self._edge(nid, body)
+            self._edge(nid, loop_exit)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._edge(nid, self._sequence(stmt.body, follow,
+                                           break_to, continue_to))
+        elif isinstance(stmt, ast.Try):
+            tail = follow
+            if stmt.finalbody:
+                tail = self._sequence(stmt.finalbody, follow,
+                                      break_to, continue_to)
+            self._edge(nid, self._sequence(stmt.body + stmt.orelse, tail,
+                                           break_to, continue_to))
+            for handler in stmt.handlers:
+                self._edge(nid, self._sequence(handler.body, tail,
+                                               break_to, continue_to))
+        else:
+            self._edge(nid, follow)
+        return nid
+
+    def _tag_back_edges(self) -> None:
+        for header, members in self._loop_members.items():
+            for source, successors in self.succ.items():
+                if header in successors and source in members:
+                    self.back_edges.add((source, header))
+
+
+def build(body: List[ast.stmt]) -> CFG:
+    """The CFG of one statement sequence (a function or region body)."""
+    graph = CFG()
+    graph._sequence(body, EXIT, break_to=None, continue_to=None)
+    graph._tag_back_edges()
+    return graph
+
+
+def reaches_forward(graph: CFG, targets: Set[int]) -> Set[int]:
+    """Node ids from which some node in ``targets`` is reachable
+    without traversing a loop back edge (same-iteration reachability).
+
+    The target nodes themselves are included only if another target is
+    reachable from them.
+    """
+    reverse: Dict[int, Set[int]] = {}
+    for source, successors in graph.succ.items():
+        for target in successors:
+            if target is EXIT or (source, target) in graph.back_edges:
+                continue
+            reverse.setdefault(target, set()).add(source)
+    seen: Set[int] = set()
+    frontier = [nid for nid in targets if nid in graph.nodes]
+    while frontier:
+        nid = frontier.pop()
+        for source in reverse.get(nid, ()):
+            if source not in seen:
+                seen.add(source)
+                frontier.append(source)
+    return seen

@@ -1,0 +1,374 @@
+"""Rule ``guard-purity``: aborts are fall-throughs, horizons are pure.
+
+Two of the repo's performance layers are sound only because of effect
+ordering disciplines that used to live in docstrings:
+
+**Macro-dispatch guards** (PR 6, transcribed into the kernel tier in
+PR 8).  ``SMTPipeline._macro_dispatch`` speculates a fused multi-
+instruction dispatch run, protected by entry guards (ROB/IQ/regfile
+headroom, policy veto, desync check).  The contract: *every guard holds
+before any machine mutation; an abort is a fall-through to the
+per-instruction path, never a rollback*.  If a machine-state write ever
+moves above a guard, an aborted attempt leaves the machine corrupted —
+and nothing but review enforced that.  This rule builds a
+statement-level CFG (:mod:`repro.analysis.cfg`) over
+``_macro_dispatch`` **and over the macro block of every generated
+kernel** (via :func:`repro.analysis.tiersync.generated_kernels`),
+classifies every mutation site, and errors on any machine mutation from
+which an abort site is still reachable in the same attempt (loop back
+edges excluded — a mutation after this attempt's guards all passed is
+the speculation paying off).
+
+Mutation classification:
+
+* **local** — writes to bare names and to containers created fresh in
+  the region (``live = []`` … ``live.append``): invisible outside.
+* **plan** — the speculation metadata tables (``plan.*``, ``plans[...]``,
+  ``thread.macro_plans``): explicitly outside the contract (plans are
+  recorded before guards by design; they describe the trace, not the
+  machine).
+* **abort accounting** — ``macro_guard_aborts`` / ``macro_abort_causes``
+  writes: the abort bookkeeping itself.
+* **machine** — everything else: ROB/IQ/regfile/fetch-queue state,
+  stats slots, pipeline fields.  These must be unreachable-from-abort.
+
+**Horizon purity** (PR 4).  The cycle-skipping fast path calls
+``skip_horizon`` / ``next_*_cycle`` on every quiescent cycle; the skip
+contract says these queries must not mutate simulation state (a skip
+must be unobservable).  The rule checks every implementation for
+machine mutations, with a short allowlist of *lazy cache prunes* that
+are part of the queries' amortized-cost design and provably
+state-transparent (:data:`BENIGN_MUTATIONS` — each entry is documented
+at its definition site).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from . import cfg
+from .astutil import dotted, iter_functions
+from .model import Finding, LintContext
+from .registry import Rule, rule
+from .tiersync import KERNEL_GEN, KernelGenError, generated_kernels
+
+#: Methods that mutate their receiver in-place.
+MUTATOR_METHODS = frozenset({
+    "append", "appendleft", "pop", "popleft", "clear", "extend",
+    "extendleft", "remove", "add", "discard", "sort", "reverse",
+    "update", "insert", "setdefault", "force", "fill", "push",
+    "requeue", "schedule",
+})
+
+#: Free functions that mutate their first argument in-place.
+MUTATOR_FUNCTIONS = frozenset({
+    "heappush", "heappop", "heapq.heappush", "heapq.heappop",
+    "heap_pop",
+})
+
+#: Method names whose call is *not* a mutation even though the name
+#: collides with a mutator (dict.get-style readers are absent from
+#: MUTATOR_METHODS already; nothing needed today).
+_READER_METHODS = frozenset({"get"})
+
+#: Spellings of the abort bookkeeping (exempt by classification).
+_ABORT_SLOTS = ("macro_guard_aborts", "macro_abort_causes")
+
+#: Horizon implementations allowed one specific benign mutation each:
+#: lazy prunes of already-dead cache/heap entries, part of the queries'
+#: documented amortized-cost design.  Keyed by qualname; values are the
+#: mutation spellings tolerated there.
+BENIGN_MUTATIONS: Dict[str, Tuple[str, ...]] = {
+    # Lazy prune of heap keys whose event bucket already drained
+    # (core/pipeline.py _next_event_cycle docstring).
+    "SMTPipeline._next_event_cycle": ("heappop",),
+    # Lazy prune of release-heap pairs whose entry was dropped or
+    # re-allocated (mem/mshr.py next_release_cycle docstring).
+    "MSHRFile.next_release_cycle": ("heapq.heappop",),
+    # Dropping a ready list that holds only dead entries — the list is
+    # semantically empty either way (core/issue_queue.py).
+    "IssueQueue.next_ready_cycle": ("ready",),
+}
+
+#: The fixed structure-owned horizon queries (module, qualname); policy
+#: ``skip_horizon`` implementations are discovered by name under
+#: ``policies/``.
+HORIZON_FUNCTIONS: Tuple[Tuple[str, str], ...] = (
+    ("core/pipeline.py", "SMTPipeline._next_event_cycle"),
+    ("core/issue_queue.py", "IssueQueue.next_ready_cycle"),
+    ("core/fu.py", "FUPool.next_release_cycle"),
+    ("mem/mshr.py", "MSHRFile.next_release_cycle"),
+    ("mem/hierarchy.py", "MemoryHierarchy.next_fill_cycle"),
+)
+
+MACRO_SOURCE = ("core/pipeline.py", "SMTPipeline._macro_dispatch")
+
+
+# -------------------------------------------------------------- mutations
+
+def _receiver_spelling(node: ast.AST) -> Optional[str]:
+    """Dotted spelling of a mutation target/receiver, if it has one."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    return dotted(node)
+
+
+def fresh_locals(body: Sequence[ast.stmt]) -> Set[str]:
+    """Names bound to containers created inside the region itself."""
+    fresh: Set[str] = set()
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            is_fresh = isinstance(value, (ast.List, ast.Dict, ast.Set,
+                                          ast.ListComp, ast.DictComp,
+                                          ast.SetComp))
+            if isinstance(value, ast.Call) \
+                    and isinstance(value.func, ast.Name) \
+                    and value.func.id in ("list", "dict", "set",
+                                          "deque", "sorted"):
+                is_fresh = True
+            if isinstance(value, ast.Subscript) or not is_fresh:
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    fresh.add(target.id)
+    return fresh
+
+
+def statement_mutations(stmt: ast.stmt) -> List[Tuple[int, str]]:
+    """``(line, spelling)`` of each mutation site this statement itself
+    performs (compound statements contribute only their header
+    expression — their bodies are separate CFG nodes)."""
+    if isinstance(stmt, (ast.If, ast.While)):
+        exprs: List[ast.AST] = [stmt.test]
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        exprs = [stmt.iter]
+    elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                           ast.ClassDef)):
+        return []
+    else:
+        exprs = [stmt]
+    sites: List[Tuple[int, str]] = []
+    for root in exprs:
+        for node in ast.walk(root):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign,
+                                 ast.Delete)):
+                targets = getattr(node, "targets", None)
+                if targets is None:
+                    targets = [node.target]
+                for target in targets:
+                    for leaf in _flatten_targets(target):
+                        if isinstance(leaf, (ast.Attribute, ast.Subscript)):
+                            spelling = _receiver_spelling(leaf)
+                            sites.append((leaf.lineno,
+                                          spelling or "<computed>"))
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Attribute) \
+                        and func.attr in MUTATOR_METHODS:
+                    spelling = _receiver_spelling(func.value)
+                    sites.append((node.lineno, spelling or "<computed>"))
+                else:
+                    full = dotted(func)
+                    if full in MUTATOR_FUNCTIONS and node.args:
+                        spelling = _receiver_spelling(node.args[0])
+                        sites.append((node.lineno, full if spelling is None
+                                      else f"{full}({spelling})"))
+    return sites
+
+
+def _flatten_targets(target: ast.AST):
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _flatten_targets(elt)
+    else:
+        yield target
+
+
+def classify(spelling: str, fresh: Set[str]) -> str:
+    root = spelling.split(".", 1)[0].split("(", 1)[0]
+    if any(slot in spelling for slot in _ABORT_SLOTS) or root == "causes":
+        return "abort"
+    if root in ("plan", "plans") or ".macro_plans" in spelling \
+            or spelling.endswith("macro_plans"):
+        return "plan"
+    if root in fresh:
+        return "local"
+    if "." not in spelling and "(" not in spelling:
+        # A subscript/attribute store through a bare local name whose
+        # object we cannot see being created: conservatively machine.
+        return "machine"
+    return "machine"
+
+
+def _is_abort_site(stmt: ast.stmt) -> bool:
+    if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+        spelling = dotted(stmt.value.func)
+        return bool(spelling) and spelling.endswith("_macro_abort")
+    if isinstance(stmt, ast.AugAssign):
+        spelling = dotted(stmt.target)
+        return bool(spelling) and spelling.endswith("macro_guard_aborts")
+    return False
+
+
+def check_macro_region(body: Sequence[ast.stmt], path: str, label: str,
+                       rule_name: str,
+                       line_of=None) -> List[Finding]:
+    """Flag machine mutations from which an abort is still reachable."""
+    graph = cfg.build(list(body))
+    aborts = {nid for nid, stmt in graph.nodes.items()
+              if _is_abort_site(stmt)}
+    if not aborts:
+        return []
+    fresh = fresh_locals(body)
+    reach = cfg.reaches_forward(graph, aborts)
+    findings: List[Finding] = []
+    seen: Set[Tuple[int, str]] = set()
+    for nid in sorted(reach & set(graph.nodes)):
+        stmt = graph.nodes[nid]
+        for lineno, spelling in statement_mutations(stmt):
+            if classify(spelling, fresh) != "machine":
+                continue
+            key = (lineno, spelling)
+            if key in seen:
+                continue
+            seen.add(key)
+            findings.append(Finding(
+                rule=rule_name, path=path,
+                line=lineno if line_of is None else line_of(lineno),
+                message=(f"machine-state mutation {spelling!r} in "
+                         f"{label} is reachable before a macro-guard "
+                         "abort — the macro contract is guards-then-"
+                         "mutations, abort = fall-through, never "
+                         "rollback; move the mutation below the last "
+                         "guard or guard it explicitly")))
+    return findings
+
+
+def check_horizon_function(node: ast.AST, path: str, qualname: str,
+                           rule_name: str) -> List[Finding]:
+    findings: List[Finding] = []
+    benign = BENIGN_MUTATIONS.get(qualname, ())
+    fresh = fresh_locals(node.body)
+    for stmt in ast.walk(node):
+        if not isinstance(stmt, ast.stmt):
+            continue
+        for lineno, spelling in statement_mutations(stmt):
+            if classify(spelling, fresh) != "machine":
+                continue
+            if any(spelling.startswith(tolerated) for tolerated in benign):
+                continue
+            findings.append(Finding(
+                rule=rule_name, path=path, line=lineno,
+                message=(f"side effect {spelling!r} in horizon query "
+                         f"{qualname!r} — skip_horizon/next_*_cycle "
+                         "implementations must be pure (a skipped "
+                         "cycle must be unobservable); compute the "
+                         "horizon without mutating, or document a "
+                         "benign lazy prune in analysis/effects.py "
+                         "BENIGN_MUTATIONS")))
+    return findings
+
+
+def _kernel_macro_bodies(source: str) -> List[Tuple[int, List[ast.stmt]]]:
+    """The macro-speculation block(s) of one generated kernel: the
+    ``while plan is not None`` loops (line, body)."""
+    tree = ast.parse(source)
+    regions: List[Tuple[int, List[ast.stmt]]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.While) \
+                and isinstance(node.test, ast.Compare) \
+                and isinstance(node.test.left, ast.Name) \
+                and node.test.left.id == "plan" \
+                and any(isinstance(op, ast.IsNot)
+                        for op in node.test.ops):
+            regions.append((node.lineno, node.body))
+    return regions
+
+
+@rule
+class GuardPurityRule(Rule):
+    name = "guard-purity"
+    description = ("macro-dispatch guards must precede every machine "
+                   "mutation (abort = fall-through) and horizon "
+                   "queries must be side-effect free — in the python "
+                   "tier and in every generated kernel")
+
+    def run(self, ctx: LintContext) -> List[Finding]:
+        findings: List[Finding] = []
+        findings.extend(self._check_source_macro(ctx))
+        findings.extend(self._check_horizons(ctx))
+        findings.extend(self._check_kernels(ctx))
+        return findings
+
+    def _check_source_macro(self, ctx: LintContext) -> List[Finding]:
+        relpath, qualname = MACRO_SOURCE
+        source = ctx.file(relpath)
+        if source is None:
+            return []
+        node = dict(iter_functions(source.tree)).get(qualname)
+        if node is None:
+            return [Finding(
+                rule=self.name, path=relpath, line=1,
+                message=(f"{qualname!r} not found — update "
+                         "analysis/effects.py MACRO_SOURCE when moving "
+                         "the macro-dispatch layer"))]
+        return check_macro_region(node.body, relpath, f"{qualname}",
+                                  self.name)
+
+    def _check_horizons(self, ctx: LintContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for relpath, qualname in HORIZON_FUNCTIONS:
+            source = ctx.file(relpath)
+            if source is None:
+                continue
+            node = dict(iter_functions(source.tree)).get(qualname)
+            if node is None:
+                findings.append(Finding(
+                    rule=self.name, path=relpath, line=1,
+                    message=(f"horizon query {qualname!r} not found in "
+                             f"{relpath} — update analysis/effects.py "
+                             "HORIZON_FUNCTIONS when renaming it")))
+                continue
+            findings.extend(check_horizon_function(
+                node, relpath, qualname, self.name))
+        for source in ctx.files():
+            if not source.relpath.startswith("policies/"):
+                continue
+            for qualname, node in iter_functions(source.tree):
+                if qualname.split(".")[-1] == "skip_horizon":
+                    findings.extend(check_horizon_function(
+                        node, source.relpath, qualname, self.name))
+        return findings
+
+    def _check_kernels(self, ctx: LintContext) -> List[Finding]:
+        if ctx.file(KERNEL_GEN) is None:
+            return []
+        try:
+            kernels = generated_kernels(ctx)
+        except KernelGenError as exc:
+            return [Finding(rule=self.name, path=KERNEL_GEN, line=1,
+                            message=str(exc))]
+        findings: List[Finding] = []
+        for label, key, source in kernels:
+            if not key.macro_spec:
+                continue
+            regions = _kernel_macro_bodies(source)
+            if not regions:
+                findings.append(Finding(
+                    rule=self.name, path=KERNEL_GEN, line=1,
+                    message=(f"generated kernel [{label}] has "
+                             "macro_spec=True but no recognizable "
+                             "macro block (`while plan is not None`) "
+                             "— the structural anchor moved; update "
+                             "analysis/effects.py")))
+                continue
+            for lineno, body in regions:
+                findings.extend(check_macro_region(
+                    body, KERNEL_GEN,
+                    f"generated kernel [{label}] macro block "
+                    f"(generated line {lineno})", self.name))
+        return findings

@@ -10,7 +10,8 @@ sorted report.
 from __future__ import annotations
 
 import os
-from typing import List, Optional
+import time
+from typing import Dict, List, Optional
 
 from .model import Finding, LintContext, LintOptions, LintReport
 from .registry import create_rules
@@ -19,9 +20,11 @@ from .suppressions import apply_suppressions
 # Import the rule modules for their registration side effect.
 from . import determinism as _determinism      # noqa: F401
 from . import digests as _digests              # noqa: F401
+from . import effects as _effects              # noqa: F401
 from . import fingerprint as _fingerprint      # noqa: F401
 from . import hooks as _hooks                  # noqa: F401
 from . import hotpath as _hotpath              # noqa: F401
+from . import tiersync as _tiersync            # noqa: F401
 
 
 def default_root() -> str:
@@ -40,17 +43,25 @@ def run_lint(root: Optional[str] = None,
     ctx = LintContext(root, options)
     rules = create_rules(options.rules)
     findings: List[Finding] = []
+    rule_stats: Dict[str, Dict] = {}
     for rule_instance in rules:
+        started = time.perf_counter()
+        produced: List[Finding] = []
         try:
-            findings.extend(rule_instance.run(ctx))
+            produced = rule_instance.run(ctx)
         except SyntaxError as exc:
             relpath = os.path.relpath(exc.filename or root,
                                       ctx.root).replace(os.sep, "/")
-            findings.append(Finding(
+            produced = [Finding(
                 rule=rule_instance.name, path=relpath,
                 line=exc.lineno or 1,
                 message=(f"file does not parse ({exc.msg}) — an "
-                         "unparsable tree cannot be certified")))
+                         "unparsable tree cannot be certified"))]
+        findings.extend(produced)
+        rule_stats[rule_instance.name] = {
+            "findings": len(produced),
+            "seconds": time.perf_counter() - started,
+        }
     findings, suppressed = apply_suppressions(
         findings, ctx.files(), [r.name for r in rules])
     findings.sort(key=Finding.sort_key)
@@ -61,4 +72,6 @@ def run_lint(root: Optional[str] = None,
         findings=findings,
         suppressed=suppressed,
         repinned=ctx.repinned,
+        rule_stats=rule_stats,
+        fragment_coverage=getattr(ctx, "fragment_coverage", None),
     )

@@ -152,6 +152,27 @@ def compute_baseline(ctx: LintContext) -> Optional[Dict]:
     return {"version": PINS_VERSION, "salts": salts, "modules": modules}
 
 
+def _changed_modules(pins_path: str, baseline: Dict) -> List[str]:
+    """The module relpaths whose pin an ``--accept-fingerprints`` run
+    actually moves: drifted fingerprints, new modules, and removed pins.
+    An unreadable/absent baseline pins everything for the first time."""
+    try:
+        with open(pins_path, "r", encoding="utf-8") as handle:
+            pins = json.load(handle)
+    except (OSError, ValueError):
+        return sorted(baseline["modules"])
+    pinned = pins.get("modules", {})
+    changed = []
+    for relpath, record in baseline["modules"].items():
+        old = pinned.get(relpath)
+        if old is None or old.get("sha256") != record["sha256"] \
+                or old.get("versions") != record.get("versions"):
+            changed.append(relpath)
+    changed.extend(relpath for relpath in pinned
+                   if relpath not in baseline["modules"])
+    return sorted(changed)
+
+
 def write_pins(path: str, baseline: Dict) -> None:
     """Atomically (re-)pin the fingerprint baseline."""
     from ..sim.store import atomic_write_json
@@ -176,9 +197,11 @@ class FingerprintRule(Rule):
                          "the declared salts to judge drift"))]
         pins_path = ctx.fingerprints_path
         if ctx.options.accept_fingerprints:
+            changed = _changed_modules(pins_path, baseline)
             write_pins(pins_path, baseline)
             ctx.repinned = {"path": pins_path,
                             "modules": len(baseline["modules"]),
+                            "changed": changed,
                             "salts": baseline["salts"]}
             return []
         try:

@@ -29,6 +29,7 @@ from typing import Dict, List, Sequence, Tuple
 from .astutil import dotted, iter_functions
 from .model import Finding, LintContext
 from .registry import Rule, rule
+from .tiersync import KERNEL_GEN, KernelGenError, generated_kernels
 
 #: The guarded fast paths: (module relpath, dotted qualname).  These are
 #: the PR 3/4 per-instruction/per-cycle workhorses — the functions the
@@ -115,6 +116,65 @@ class _LoopChains(ast.NodeVisitor):
     visit_AsyncFunctionDef = _enter_closure
 
 
+def check_function(rule_name: str, relpath: str, qualname: str,
+                   node: ast.AST) -> List[Finding]:
+    """The three hygiene checks over one function body.
+
+    Module-level so the same discipline can be applied to code that is
+    not a file of the linted tree — the generated kernels are checked
+    with ``relpath=core/kernel_gen.py`` and a ``generated kernel [...]``
+    qualname (their line numbers are generated-source lines, quoted in
+    the message rather than the anchor).
+    """
+    findings: List[Finding] = []
+    for child in ast.walk(node):
+        if isinstance(child, ast.Try) and child is not node:
+            findings.append(Finding(
+                rule=rule_name, path=relpath, line=child.lineno,
+                message=(f"try block inside hot function "
+                         f"{qualname!r} — the fast paths are "
+                         "exception-free by design (PR 3/4); "
+                         "restructure with a membership/size test")))
+    collector = _LoopChains()
+    for stmt in node.body:
+        collector.visit(stmt)
+    for closure in collector.closures:
+        label = getattr(closure, "name", "<lambda>")
+        findings.append(Finding(
+            rule=rule_name, path=relpath, line=closure.lineno,
+            message=(f"closure {label!r} allocated inside a loop of "
+                     f"hot function {qualname!r} — a fresh function "
+                     "object per iteration; hoist it out of the "
+                     "loop")))
+    reported = set()
+    for loop, chains in collector.loops:
+        # "Hoist it to a local before the loop" is only actionable when
+        # the chain's base is loop-invariant.  A base assigned inside
+        # the loop (the iteration variable, or a per-item rebinding like
+        # `file = int_file if ... else fp_file`) names a different
+        # object each time — the repeated spelling is one resolution
+        # per binding, not a redundant re-walk.
+        rebound = {child.id for child in ast.walk(loop)
+                   if isinstance(child, ast.Name)
+                   and isinstance(child.ctx, (ast.Store, ast.Del))}
+        for spelling in sorted(chains):
+            if spelling.split(".", 1)[0] in rebound:
+                continue
+            lines = chains[spelling]
+            if len(lines) >= 2 and spelling not in reported:
+                reported.add(spelling)
+                findings.append(Finding(
+                    rule=rule_name, path=relpath, line=lines[0],
+                    message=(f"attribute chain {spelling!r} "
+                             f"resolved {len(lines)}x inside one "
+                             f"loop of hot function {qualname!r} "
+                             "(lines "
+                             f"{', '.join(map(str, lines))}) — "
+                             "hoist it to a local before the "
+                             "loop")))
+    return findings
+
+
 @rule
 class HotPathRule(Rule):
     name = "hot-path-hygiene"
@@ -151,44 +211,28 @@ class HotPathRule(Rule):
                                  "when renaming a fast path")))
                     continue
                 findings.extend(
-                    self._check_function(source.relpath, qualname, node))
+                    check_function(self.name, source.relpath, qualname,
+                                   node))
+        findings.extend(self._check_kernels(ctx))
         return findings
 
-    def _check_function(self, relpath: str, qualname: str,
-                        node: ast.AST) -> List[Finding]:
+    def _check_kernels(self, ctx: LintContext) -> List[Finding]:
+        """The generated kernels are hot paths too — feed each coverage
+        class's emitted source through the same three checks, so an
+        emitter edit that would generate a sloppy loop fails here even
+        though the sloppy code never exists as a file."""
+        if ctx.file(KERNEL_GEN) is None:
+            return []
+        try:
+            kernels = generated_kernels(ctx)
+        except KernelGenError as exc:
+            return [Finding(rule=self.name, path=KERNEL_GEN, line=1,
+                            message=str(exc))]
         findings: List[Finding] = []
-        for child in ast.walk(node):
-            if isinstance(child, ast.Try) and child is not node:
-                findings.append(Finding(
-                    rule=self.name, path=relpath, line=child.lineno,
-                    message=(f"try block inside hot function "
-                             f"{qualname!r} — the fast paths are "
-                             "exception-free by design (PR 3/4); "
-                             "restructure with a membership/size test")))
-        collector = _LoopChains()
-        for stmt in node.body:
-            collector.visit(stmt)
-        for closure in collector.closures:
-            label = getattr(closure, "name", "<lambda>")
-            findings.append(Finding(
-                rule=self.name, path=relpath, line=closure.lineno,
-                message=(f"closure {label!r} allocated inside a loop of "
-                         f"hot function {qualname!r} — a fresh function "
-                         "object per iteration; hoist it out of the "
-                         "loop")))
-        reported = set()
-        for _loop, chains in collector.loops:
-            for spelling in sorted(chains):
-                lines = chains[spelling]
-                if len(lines) >= 2 and spelling not in reported:
-                    reported.add(spelling)
-                    findings.append(Finding(
-                        rule=self.name, path=relpath, line=lines[0],
-                        message=(f"attribute chain {spelling!r} "
-                                 f"resolved {len(lines)}x inside one "
-                                 f"loop of hot function {qualname!r} "
-                                 "(lines "
-                                 f"{', '.join(map(str, lines))}) — "
-                                 "hoist it to a local before the "
-                                 "loop")))
+        for label, _key, source in kernels:
+            tree = ast.parse(source)
+            for qualname, node in iter_functions(tree):
+                findings.extend(check_function(
+                    self.name, KERNEL_GEN,
+                    f"generated kernel [{label}] {qualname}", node))
         return findings

@@ -151,6 +151,12 @@ class LintReport:
     findings: List[Finding]
     suppressed: int = 0
     repinned: Optional[Dict] = None   # set by --accept-fingerprints
+    #: Per-rule execution stats from the engine:
+    #: ``{rule: {"findings": int, "seconds": float}}``.
+    rule_stats: Optional[Dict[str, Dict]] = None
+    #: Tier-sync fragment coverage (set when the tier-sync rule ran):
+    #: ``{"fragments": int, "functions": [...], "lines_covered": int}``.
+    fragment_coverage: Optional[Dict] = None
 
     @property
     def errors(self) -> int:
@@ -171,19 +177,33 @@ class LintReport:
             "rules": list(self.rules),
             "files": self.files_scanned,
             "findings": [f.to_dict() for f in self.findings],
-            "summary": {"errors": self.errors, "warnings": self.warnings,
-                        "suppressed": self.suppressed},
+            "summary": self._summary(),
         }
         if self.repinned is not None:
             document["repinned"] = self.repinned
         return document
 
+    def _summary(self) -> Dict:
+        summary: Dict = {"errors": self.errors, "warnings": self.warnings,
+                         "suppressed": self.suppressed}
+        if self.rule_stats is not None:
+            summary["rules"] = {
+                name: {"findings": stats["findings"],
+                       "seconds": round(stats["seconds"], 6)}
+                for name, stats in sorted(self.rule_stats.items())}
+        if self.fragment_coverage is not None:
+            summary["fragment_coverage"] = self.fragment_coverage
+        return summary
+
     def render_text(self) -> str:
         out = [finding.render() for finding in self.findings]
         if self.repinned is not None:
+            for relpath in self.repinned.get("changed") or ():
+                out.append(f"re-pinned: {relpath}")
+            changed = len(self.repinned.get("changed") or ())
             out.append(
                 f"re-pinned {self.repinned['modules']} fingerprint(s) "
-                f"-> {self.repinned['path']}")
+                f"({changed} changed) -> {self.repinned['path']}")
         out.append(
             f"repro lint: {self.errors} error(s), {self.warnings} "
             f"warning(s), {self.suppressed} suppressed — "

@@ -596,6 +596,15 @@ def _emit_issue_queue(key: KernelKey, emit, qk: int) -> None:
     emit("                        gstats.executed += 1")
 
 
+def _emit_issue(key: KernelKey, emit) -> None:
+    """The full issue stage: one unrolled block per queue, MEM first
+    (matching ``_issue_stage``'s (2, 0, 1) order), then the fold drain."""
+    for qk in (2, 0, 1):
+        _emit_issue_queue(key, emit, qk)
+    emit("        if fold_worklist:")
+    emit("            drain_folds(now)")
+
+
 def _emit_macro(key: KernelKey, emit) -> None:
     """Inlined ``_macro_dispatch``: guards, JIT tiers, both fused loops.
 
@@ -1277,10 +1286,7 @@ def emit_kernel_source(key: KernelKey) -> str:
     emit("        # ---- commit stage ----")
     _emit_commit(key, emit)
     emit("        # ---- issue stage ----")
-    for qk in (2, 0, 1):
-        _emit_issue_queue(key, emit, qk)
-    emit("        if fold_worklist:")
-    emit("            drain_folds(now)")
+    _emit_issue(key, emit)
     emit("        # ---- dispatch stage ----")
     _emit_dispatch(key, emit)
     emit("        # ---- fetch stage ----")
@@ -1303,3 +1309,909 @@ def emit_kernel_source(key: KernelKey) -> str:
         emit("            skip_to(cycle, target)")
         emit("            cycle = target")
     return "\n".join(out) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# tier-sync fragment declarations
+#
+# Each entry ties one emitter above to the pipeline function it
+# transcribes and declares the *complete* substitution algebra relating
+# the two spellings, so `repro lint` (rule `tier-sync`, see
+# repro.analysis.tiersync) can machine-verify the transcription: it
+# applies these operations to the python-tier AST and requires the
+# result to be structurally identical to the emitted kernel fragment
+# for TIERSYNC_KEY.  Editing a hot path without mirroring the emitter —
+# or doing a restructure without declaring it here — fails the lint.
+
+#: The representative shape the congruence check runs against: the
+#: 4-thread runahead configuration with every optional feature enabled,
+#: so no emitter branch is dead during the comparison.
+TIERSYNC_KEY = KernelKey(
+    num_threads=4,
+    width=8,
+    fetch_threads=2,
+    fetch_buffer=16,
+    icache_latency=3,
+    dcache_latency=2,
+    l2_detect_latency=9,
+    rob_capacity=96,
+    iq_caps=(48, 40, 24),
+    fu_caps=(6, 5, 4),
+    uses_runahead=True,
+    ra_fp_inval=True,
+    macro_spec=True,
+    has_on_cycle=True,
+    has_macro_ok=True,
+    skip_enabled=True,
+)
+
+
+def _tiersync_fragments(key: KernelKey) -> tuple:
+    return (
+        {
+            "name": "events",
+            "source": ("core/pipeline.py", "SMTPipeline._process_events"),
+            "emitter": "_emit_events",
+            "covers": (
+                ("core/pipeline.py", "SMTPipeline._process_events"),
+                ("core/pipeline.py", "SMTPipeline._src_ready"),
+                ("core/pipeline.py", "SMTPipeline._operands_invalid"),
+                ("core/pipeline.py", "SMTPipeline._recycle_runahead_dest"),
+            ),
+            # The kernel elides the whole call on undue cycles (the
+            # soundness argument lives on _emit_events).
+            "wrap": "if heap and heap[0] <= now:\n    __BODY__",
+            "subs": [
+                # _src_ready is spliced per-waiter; its early returns
+                # become loop continues.
+                ("inline", ("core/pipeline.py", "SMTPipeline._src_ready"),
+                 "src_ready(waiter, now, preg, invalid)",
+                 "__INLINE__",
+                 {"bind": {"inst": "waiter"},
+                  "returns": ["continue", "continue"]}),
+                # Per-run hoists (done once in _emit_hoists).
+                ("stmt", "events = self._events", ""),
+                ("stmt", "heap = self._event_heap", ""),
+                ("stmt", "threads = self.threads", ""),
+                ("stmt", "int_file = self.int_file", ""),
+                ("stmt", "fp_file = self.fp_file", ""),
+                ("stmt", "src_ready = self._src_ready", ""),
+                # Early return inverted into a guard under the wrap.
+                ("stmt",
+                 "if not bucket:\n"
+                 "    return\n"
+                 "__REST__",
+                 "if bucket:\n"
+                 "    __REST__"),
+                ("rename", "heappop", "heap_pop"),
+                ("rename", "_SQUASHED", "squashed_state"),
+                ("rename", "_RETIRED", "retired_state"),
+                ("rename", "_ISSUED", "issued_state"),
+                ("rename", "_COMPLETED", "completed_state"),
+                ("rename", "_DISPATCHED", "dispatched_state"),
+                ("rename", "_READY", "ready_state"),
+                ("rename", "_RUNAHEAD", "ra_mode"),
+                ("rename", "OP_QUEUE_BY_CODE", "op_queue"),
+                ("expr", "_EV_COMPLETE", "0"),
+                ("expr", "_EV_L2_DETECT", "1"),
+                ("expr", "NO_REG", "no_reg"),
+                ("expr", "_NINT", "nint"),
+                ("expr", "self.queues", "queues"),
+                ("expr", "self._fold_worklist", "fold_worklist"),
+                ("expr", "self._drain_folds", "drain_folds"),
+                ("expr", "self._resolve_misprediction", "resolve_mispred"),
+                ("expr", "self._on_l2_detected", "on_l2_detected"),
+                # The wakeup decrement keeps the new count in a local
+                # (one attribute read instead of two).
+                ("stmt",
+                 "waiter.pending_srcs -= 1\n"
+                 "if waiter.pending_srcs > 0:\n"
+                 "    continue",
+                 "pending = waiter.pending_srcs - 1\n"
+                 "waiter.pending_srcs = pending\n"
+                 "if pending > 0:\n"
+                 "    continue"),
+                # _operands_invalid folded to the mask conditional.
+                ("guard", "core/pipeline.py",
+                 "SMTPipeline._operands_invalid",
+                 "mask = inst.src_inv_mask\n"
+                 "if inst.is_store:\n"
+                 "    return bool(mask & 1)\n"
+                 "return mask != 0"),
+                ("stmt",
+                 "if self._operands_invalid(waiter):\n"
+                 "    fold_worklist.append(waiter)\n"
+                 "else:\n"
+                 "    waiter.state = ready_state\n"
+                 "    queues[op_queue[waiter.op]]._ready.append(waiter)",
+                 "wmask = waiter.src_inv_mask\n"
+                 "if (wmask & 1) if waiter.is_store else wmask:\n"
+                 "    fold_worklist.append(waiter)\n"
+                 "else:\n"
+                 "    waiter.state = ready_state\n"
+                 "    queues[op_queue[waiter.op]]._ready.append(waiter)"),
+                # _recycle_runahead_dest open-coded with the entry check
+                # elided (pdest == preg != no_reg guarded just above)
+                # and the class split reusing the already-computed
+                # ``file`` local.
+                ("guard", "core/pipeline.py",
+                 "SMTPipeline._recycle_runahead_dest",
+                 "if inst.pdest == NO_REG:\n"
+                 "    return\n"
+                 "if inst.dest_arch < _NINT:\n"
+                 "    klass, file = (0, self.int_file)\n"
+                 "    arch_index = inst.dest_arch\n"
+                 "else:\n"
+                 "    klass, file = (1, self.fp_file)\n"
+                 "    arch_index = inst.dest_arch - _NINT\n"
+                 "preg = inst.pdest\n"
+                 "if file.pinned[preg]:\n"
+                 "    return\n"
+                 "front = thread.rename.front[klass]\n"
+                 "if front[arch_index] != preg:\n"
+                 "    return\n"
+                 "front[arch_index] = thread.rename.arch[klass][arch_index]\n"
+                 "if not file._allocated[preg]:\n"
+                 "    raise SimulationError(f'{file.name}: double release "
+                 "of p{preg}')\n"
+                 "file._allocated[preg] = False\n"
+                 "file.waiters[preg].clear()\n"
+                 "file._free.append(preg)\n"
+                 "thread.regs_held[klass] -= 1\n"
+                 "thread.arch_inv[inst.dest_arch] = inst.invalid\n"
+                 "inst.pdest = NO_REG"),
+                ("stmt",
+                 "if invalid and thread.mode is ra_mode:\n"
+                 "    self._recycle_runahead_dest(thread, inst)",
+                 "if invalid and thread.mode is ra_mode:\n"
+                 "    dest_arch = inst.dest_arch\n"
+                 "    if dest_arch < nint:\n"
+                 "        klass = 0\n"
+                 "        arch_index = dest_arch\n"
+                 "    else:\n"
+                 "        klass = 1\n"
+                 "        arch_index = dest_arch - nint\n"
+                 "    if not file.pinned[preg]:\n"
+                 "        front = thread.rename.front[klass]\n"
+                 "        if front[arch_index] == preg:\n"
+                 "            front[arch_index] = (\n"
+                 "                thread.rename.arch[klass][arch_index])\n"
+                 "            if not file._allocated[preg]:\n"
+                 "                raise SimulationError(\n"
+                 "                    f\"{file.name}: double release of "
+                 "p{preg}\")\n"
+                 "            file._allocated[preg] = False\n"
+                 "            file.waiters[preg].clear()\n"
+                 "            file._free.append(preg)\n"
+                 "            thread.regs_held[klass] -= 1\n"
+                 "            thread.arch_inv[dest_arch] = invalid\n"
+                 "            inst.pdest = no_reg"),
+            ],
+        },
+        {
+            "name": "commit",
+            "source": ("core/pipeline.py", "SMTPipeline._commit_stage"),
+            "emitter": "_emit_commit",
+            "covers": (
+                ("core/pipeline.py", "SMTPipeline._commit_stage"),
+                ("core/pipeline.py", "SMTPipeline._commit_thread"),
+            ),
+            "subs": [
+                # _commit_thread spliced into the per-thread loop; its
+                # returns become continue / commit-and-break / the
+                # normal-vs-runahead else split / fall-through.
+                ("inline", ("core/pipeline.py",
+                            "SMTPipeline._commit_thread"),
+                 "budget = self._commit_thread(thread, now, budget)\n"
+                 "if budget <= 0:\n"
+                 "    break",
+                 "__INLINE__\n"
+                 "if budget <= 0:\n"
+                 "    break",
+                 {"returns": ["continue",
+                              "stmts:budget -= 1\nbreak",
+                              "else-rest",
+                              "delete"]}),
+                # Per-run hoists (done once in _emit_hoists).
+                ("stmt", "rob = self.rob", ""),
+                ("stmt", "gstats = self.gstats", ""),
+                ("stmt", "int_file = self.int_file", ""),
+                ("stmt", "fp_file = self.fp_file", ""),
+                ("stmt", "recycle = self._recycle_runahead_dest", ""),
+                ("rename", "budget", "commit_budget"),
+                ("rename", "_RUNAHEAD", "ra_mode"),
+                ("rename", "_NORMAL", "normal_mode"),
+                ("rename", "_COMPLETED", "completed_state"),
+                ("rename", "_RETIRED", "retired_state"),
+                ("expr", "self._width", str(key.width)),
+                ("expr", "self._rotations[now % self.num_threads]",
+                 _rotation_expr(key)),
+                ("expr", "self.runahead.exit", "ra_exit"),
+                ("expr", "rob._queues", "rob_queues"),
+                ("expr", "rob.per_thread", "rob_pt"),
+                ("expr", "NO_REG", "no_reg"),
+                ("expr", "_NINT", "nint"),
+                ("expr", "self._last_commit_cycle",
+                 "pipeline._last_commit_cycle"),
+                ("expr", "thread.rename.commit_dest", "rename.commit_dest"),
+                ("expr", "self._release_preg", "release_preg"),
+                ("expr", "self.mem.data_access_packed", "data_access"),
+                ("expr", "self._uses_runahead", "True"),
+                ("expr", "self.runahead.should_enter", "should_enter"),
+                ("expr", "self._enter_runahead", "enter_runahead"),
+                # The kernel hoists the rename map next to last_index.
+                ("stmt", "last_index = thread.last_index",
+                 "last_index = thread.last_index\n"
+                 "rename = thread.rename"),
+                # Tuple assignments split (the emitter writes one
+                # statement per line).
+                ("stmt", "klass, file = 0, int_file",
+                 "klass = 0\nfile = int_file"),
+                ("stmt", "klass, file = 1, fp_file",
+                 "klass = 1\nfile = fp_file"),
+                # _recycle_runahead_dest open-coded; klass/file reuse
+                # the values computed for the old_pdest release, the
+                # pinned test is folded into the entry check.
+                ("guard", "core/pipeline.py",
+                 "SMTPipeline._recycle_runahead_dest",
+                 "if inst.pdest == NO_REG:\n"
+                 "    return\n"
+                 "if inst.dest_arch < _NINT:\n"
+                 "    klass, file = (0, self.int_file)\n"
+                 "    arch_index = inst.dest_arch\n"
+                 "else:\n"
+                 "    klass, file = (1, self.fp_file)\n"
+                 "    arch_index = inst.dest_arch - _NINT\n"
+                 "preg = inst.pdest\n"
+                 "if file.pinned[preg]:\n"
+                 "    return\n"
+                 "front = thread.rename.front[klass]\n"
+                 "if front[arch_index] != preg:\n"
+                 "    return\n"
+                 "front[arch_index] = thread.rename.arch[klass][arch_index]\n"
+                 "if not file._allocated[preg]:\n"
+                 "    raise SimulationError(f'{file.name}: double release "
+                 "of p{preg}')\n"
+                 "file._allocated[preg] = False\n"
+                 "file.waiters[preg].clear()\n"
+                 "file._free.append(preg)\n"
+                 "thread.regs_held[klass] -= 1\n"
+                 "thread.arch_inv[inst.dest_arch] = inst.invalid\n"
+                 "inst.pdest = NO_REG"),
+                ("stmt",
+                 "if head.pdest != no_reg:\n"
+                 "    recycle(thread, head)",
+                 "preg = head.pdest\n"
+                 "if preg != no_reg and not file.pinned[preg]:\n"
+                 "    arch_index = (dest_arch if klass == 0\n"
+                 "                  else dest_arch - nint)\n"
+                 "    front = thread.rename.front[klass]\n"
+                 "    if front[arch_index] == preg:\n"
+                 "        front[arch_index] = (\n"
+                 "            thread.rename.arch[klass][arch_index])\n"
+                 "        if not file._allocated[preg]:\n"
+                 "            raise SimulationError(\n"
+                 "                f\"{file.name}: double release of "
+                 "p{preg}\")\n"
+                 "        file._allocated[preg] = False\n"
+                 "        file.waiters[preg].clear()\n"
+                 "        file._free.append(preg)\n"
+                 "        thread.regs_held[klass] -= 1\n"
+                 "        thread.arch_inv[dest_arch] = head.invalid\n"
+                 "        head.pdest = no_reg"),
+            ],
+        },
+        {
+            "name": "issue",
+            "source": ("core/pipeline.py", "SMTPipeline._issue_stage"),
+            "emitter": "_emit_issue",
+            "covers": (
+                ("core/pipeline.py", "SMTPipeline._issue_stage"),
+                ("core/pipeline.py", "SMTPipeline._issue_load"),
+                ("core/pipeline.py", "SMTPipeline._issue_store"),
+                ("core/pipeline.py", "SMTPipeline._issue_runahead_load"),
+                ("core/issue_queue.py", "IssueQueue.take_ready"),
+            ),
+            "subs": [
+                # _issue_load spliced at its call; the runahead early
+                # return turns the rest of the helper into the else
+                # branch, the MSHR-full return becomes the loop continue.
+                ("inline", ("core/pipeline.py", "SMTPipeline._issue_load"),
+                 "if not issue_load(thread, inst, queue, now):\n"
+                 "    continue",
+                 "__INLINE__",
+                 {"returns": ["else-rest", "continue", "delete"]}),
+                ("inline", ("core/pipeline.py", "SMTPipeline._issue_store"),
+                 "issue_store(thread, inst, now)",
+                 "__INLINE__",
+                 {"returns": []}),
+                # _issue_runahead_load is open-coded with the cache
+                # latencies folded and schedule()/gate_fetch_until
+                # expanded; the guards pin the python-tier bodies.
+                ("guard", "core/thread.py",
+                 "ThreadContext.gate_fetch_until",
+                 "if cycle > self.fetch_gated_until:\n"
+                 "    self.fetch_gated_until = cycle"),
+                ("guard", "core/pipeline.py",
+                 "SMTPipeline._issue_runahead_load",
+                 "l1_latency = self._dcache_latency\n"
+                 "detect_latency = self._l2_detect_latency\n"
+                 "forwarded = self.runahead.load_forward_validity(thread,"
+                 " inst)\n"
+                 "if forwarded is not None:\n"
+                 "    inst.invalid = not forwarded\n"
+                 "    inst.complete_cycle = now + l1_latency\n"
+                 "    self.schedule(inst.complete_cycle, _EV_COMPLETE,"
+                 " inst)\n"
+                 "    return\n"
+                 "if not self.runahead.prefetch:\n"
+                 "    level = self.mem.peek_data(inst.addr)\n"
+                 "    if level == 'l1':\n"
+                 "        inst.complete_cycle = now + l1_latency\n"
+                 "    elif level == 'l2':\n"
+                 "        inst.complete_cycle = now + detect_latency\n"
+                 "    else:\n"
+                 "        inst.invalid = True\n"
+                 "        inst.complete_cycle = now + detect_latency\n"
+                 "        thread.no_retrigger.add(inst.pass_no *"
+                 " thread.retrigger_stride + inst.trace_index)\n"
+                 "    self.schedule(inst.complete_cycle, _EV_COMPLETE,"
+                 " inst)\n"
+                 "    return\n"
+                 "packed = self.mem.data_access_packed(inst.addr, False,"
+                 " now, thread.tid, speculative=True)\n"
+                 "if packed < 0:\n"
+                 "    inst.invalid = True\n"
+                 "    inst.complete_cycle = now + l1_latency\n"
+                 "elif packed & 2:\n"
+                 "    inst.invalid = True\n"
+                 "    inst.complete_cycle = min(packed >> 2, now +"
+                 " detect_latency)\n"
+                 "    if self.runahead.stop_fetch_on_l2_miss:\n"
+                 "        thread.gate_fetch_until("
+                 "thread.runahead_trigger_ready)\n"
+                 "else:\n"
+                 "    inst.complete_cycle = packed >> 2\n"
+                 "cycle = inst.complete_cycle\n"
+                 "events = self._events\n"
+                 "bucket = events.get(cycle)\n"
+                 "if bucket is None:\n"
+                 "    events[cycle] = [(_EV_COMPLETE, inst)]\n"
+                 "    heappush(self._event_heap, cycle)\n"
+                 "else:\n"
+                 "    bucket.append((_EV_COMPLETE, inst))"),
+                ("stmt", "self._issue_runahead_load(thread, inst, now)",
+                 "forwarded = load_forward(thread, inst)\n"
+                 "if forwarded is not None:\n"
+                 "    inst.invalid = not forwarded\n"
+                 f"    ccycle = now + {key.dcache_latency}\n"
+                 "elif not ra_prefetch:\n"
+                 "    level = peek_data(inst.addr)\n"
+                 "    if level == 'l1':\n"
+                 f"        ccycle = now + {key.dcache_latency}\n"
+                 "    elif level == 'l2':\n"
+                 f"        ccycle = now + {key.l2_detect_latency}\n"
+                 "    else:\n"
+                 "        inst.invalid = True\n"
+                 f"        ccycle = now + {key.l2_detect_latency}\n"
+                 "        thread.no_retrigger.add(\n"
+                 "            inst.pass_no * thread.retrigger_stride\n"
+                 "            + inst.trace_index)\n"
+                 "else:\n"
+                 "    packed = data_access(inst.addr, False, now,\n"
+                 "                         tid, speculative=True)\n"
+                 "    if packed < 0:\n"
+                 "        inst.invalid = True\n"
+                 f"        ccycle = now + {key.dcache_latency}\n"
+                 "    elif packed & 2:\n"
+                 "        inst.invalid = True\n"
+                 f"        ccycle = min(packed >> 2, now + "
+                 f"{key.l2_detect_latency})\n"
+                 "        if ra_stop_fetch:\n"
+                 "            trigger = thread.runahead_trigger_ready\n"
+                 "            if trigger > thread.fetch_gated_until:\n"
+                 "                thread.fetch_gated_until = trigger\n"
+                 "    else:\n"
+                 "        ccycle = packed >> 2\n"
+                 "inst.complete_cycle = ccycle\n"
+                 "bucket = events.get(ccycle)\n"
+                 "if bucket is None:\n"
+                 "    events[ccycle] = [(0, inst)]\n"
+                 "    heappush(heap, ccycle)\n"
+                 "else:\n"
+                 "    bucket.append((0, inst))"),
+                # Per-run hoists (done once in _emit_hoists).
+                ("stmt", "fus = self.fus", ""),
+                ("stmt", "available = fus._available", ""),
+                ("stmt", "issued = fus.issued", ""),
+                ("stmt", "threads = self.threads", ""),
+                ("stmt", "events = self._events", ""),
+                ("stmt", "heap = self._event_heap", ""),
+                ("stmt", "gstats = self.gstats", ""),
+                ("stmt", "issue_load = self._issue_load", ""),
+                ("stmt", "issue_store = self._issue_store", ""),
+                ("stmt", "per_thread = queue.per_thread", ""),
+                # The FU-kind lookup folds to the queue-kind literal
+                # (OP_QUEUE/OP_FU coincide; asserted by kernel_cache).
+                ("stmt", "kind = OP_FU_BY_CODE[inst.op]", ""),
+                ("rename", "budget", "limit"),
+                ("rename", "cycle", "ccycle"),
+                ("rename", "kind", "queue_kind"),
+                ("rename", "_ISSUED", "issued_state"),
+                ("rename", "_RUNAHEAD", "ra_mode"),
+                ("rename", "OP_LATENCY_BY_CODE", "op_latency"),
+                ("expr", "_EV_COMPLETE", "0"),
+                ("expr", "_EV_L2_DETECT", "1"),
+                ("expr", "self._event_heap", "heap"),
+                ("expr", "self.schedule", "schedule"),
+                ("expr", "self.mem.data_access_packed", "data_access"),
+                ("expr", "self.runahead.on_runahead_store",
+                 "on_runahead_store"),
+                ("expr", "self.runahead.prefetch", "ra_prefetch"),
+                ("expr", "thread.tid", "tid"),
+                ("expr", "self._l2_detect_latency",
+                 str(key.l2_detect_latency)),
+                ("expr", "self._fold_worklist", "fold_worklist"),
+                ("expr", "self._drain_folds", "drain_folds"),
+                # Loop-level continues inverted into guard nesting.
+                ("stmt",
+                 "queue = self.queues[queue_kind]\n"
+                 "if not queue._ready:\n"
+                 "    continue\n"
+                 "limit = available[queue_kind]\n"
+                 "if limit <= 0:\n"
+                 "    continue\n"
+                 "__REST__",
+                 "ready = queue._ready\n"
+                 "if ready:\n"
+                 "    limit = available[queue_kind]\n"
+                 "    if limit > 0:\n"
+                 "        __REST__"),
+                # take_ready open-coded (its early returns are subsumed
+                # by the guards above / the `if live:` nesting); the
+                # guard pins the python-tier body.
+                ("guard", "core/issue_queue.py", "IssueQueue.take_ready",
+                 "ready = self._ready\n"
+                 "if not ready:\n"
+                 "    return []\n"
+                 "for inst in ready:\n"
+                 "    if inst.state != _READY:\n"
+                 "        live = [inst for inst in ready if inst.state =="
+                 " _READY]\n"
+                 "        self._ready = live\n"
+                 "        break\n"
+                 "else:\n"
+                 "    live = ready\n"
+                 "if not live:\n"
+                 "    return []\n"
+                 "if len(live) > limit:\n"
+                 "    live.sort(key=_inst_age)\n"
+                 "    selected = live[:limit]\n"
+                 "    self._ready = live[limit:]\n"
+                 "else:\n"
+                 "    selected = live\n"
+                 "    self._ready = []\n"
+                 "if self._replay_blocked:\n"
+                 "    for inst in selected:\n"
+                 "        if inst.replay:\n"
+                 "            inst.replay = False\n"
+                 "            self._replay_blocked -= 1\n"
+                 "return selected"),
+                ("stmt",
+                 "for inst in queue.take_ready(limit):\n"
+                 "    __BODY__",
+                 "for inst in ready:\n"
+                 "    if inst.state != ready_state:\n"
+                 "        live = [inst for inst in ready\n"
+                 "                if inst.state == ready_state]\n"
+                 "        queue._ready = live\n"
+                 "        break\n"
+                 "else:\n"
+                 "    live = ready\n"
+                 "if live:\n"
+                 "    if len(live) > limit:\n"
+                 "        live.sort(key=inst_age)\n"
+                 "        selected = live[:limit]\n"
+                 "        queue._ready = live[limit:]\n"
+                 "    else:\n"
+                 "        selected = live\n"
+                 "        queue._ready = []\n"
+                 "    if queue._replay_blocked:\n"
+                 "        for inst in selected:\n"
+                 "            if inst.replay:\n"
+                 "                inst.replay = False\n"
+                 "                queue._replay_blocked -= 1\n"
+                 "    for inst in selected:\n"
+                 "        __BODY__"),
+                # The store's schedule() call is open-coded.
+                ("stmt",
+                 "inst.complete_cycle = now + 1\n"
+                 "schedule(inst.complete_cycle, 0, inst)",
+                 "ccycle = now + 1\n"
+                 "inst.complete_cycle = ccycle\n"
+                 "bucket = events.get(ccycle)\n"
+                 "if bucket is None:\n"
+                 "    events[ccycle] = [(0, inst)]\n"
+                 "    heappush(heap, ccycle)\n"
+                 "else:\n"
+                 "    bucket.append((0, inst))"),
+                ("unroll", "queue_kind",
+                 [{"queue_kind": str(qk), "queue": f"q{qk}",
+                   "per_thread": f"q{qk}_pt"}
+                  for qk in (2, 0, 1)]),
+            ],
+        },
+        {
+            "name": "dispatch",
+            "source": ("core/pipeline.py", "SMTPipeline._dispatch_stage"),
+            "emitter": "_emit_dispatch",
+            "covers": (
+                ("core/pipeline.py", "SMTPipeline._dispatch_stage"),
+                ("core/pipeline.py", "SMTPipeline._macro_dispatch"),
+                ("core/pipeline.py", "SMTPipeline._macro_abort"),
+                ("core/pipeline.py", "SMTPipeline._dispatch"),
+                ("core/pipeline.py", "SMTPipeline._uncount"),
+                ("core/thread.py", "ThreadContext.note_arch_invalid"),
+            ),
+            "subs": [
+                # _macro_dispatch spliced at its call; guard-abort
+                # returns become breaks out of the single-pass
+                # `while plan is not None:` added further down, JIT
+                # dispatches and the generic tail set `taken` first.
+                ("inline", ("core/pipeline.py",
+                            "SMTPipeline._macro_dispatch"),
+                 "taken = self._macro_dispatch(thread, fetch_queue, now,"
+                 " budget)",
+                 "taken = 0\n"
+                 "__INLINE__",
+                 {"returns": [
+                     "break", "break", "break", "break", "break",
+                     "stmts:taken = handler(pipeline, thread,"
+                     " fetch_queue, now)\nbreak",
+                     "stmts:taken = handler(pipeline, thread,"
+                     " fetch_queue, now)\nbreak",
+                     "stmts:taken = k\nbreak"]}),
+                # _macro_abort spliced per cause (the cause argument is
+                # a literal at three sites, a conditional at the fourth).
+                ("inline", ("core/pipeline.py", "SMTPipeline._macro_abort"),
+                 "self._macro_abort('rob')",
+                 "__INLINE__",
+                 {"bind": {"cause": "'rob'"}, "returns": []}),
+                ("inline", ("core/pipeline.py", "SMTPipeline._macro_abort"),
+                 "self._macro_abort('iq' if need_q0 > room_q0"
+                 " or need_q1 > room_q1 or need_q2 > room_q2"
+                 " else 'regfile')",
+                 "__INLINE__",
+                 {"bind": {"cause": ("cause",
+                                     "'iq' if need_q0 > room_q0"
+                                     " or need_q1 > room_q1"
+                                     " or need_q2 > room_q2"
+                                     " else 'regfile'")},
+                  "returns": []}),
+                ("inline", ("core/pipeline.py", "SMTPipeline._macro_abort"),
+                 "self._macro_abort('policy')",
+                 "__INLINE__",
+                 {"bind": {"cause": "'policy'"}, "returns": []}),
+                ("inline", ("core/pipeline.py", "SMTPipeline._macro_abort"),
+                 "self._macro_abort('desync')",
+                 "__INLINE__",
+                 {"bind": {"cause": "'desync'"}, "returns": []}),
+                # _dispatch spliced into the per-stage loop; False
+                # returns become stall-and-break, the drop-at-decode
+                # True return consumes the entry inline, the tail True
+                # falls through to the shared popleft.
+                ("inline", ("core/pipeline.py", "SMTPipeline._dispatch"),
+                 "if not dispatch(thread, fetch_queue[0], now):\n"
+                 "    self.gstats.dispatch_stalls += 1\n"
+                 "    break",
+                 "__INLINE__",
+                 {"bind": {"inst": ("inst", "fetch_queue[0]")},
+                  "returns": [
+                      "stmts:self.gstats.dispatch_stalls += 1\nbreak",
+                      "stmts:fetch_queue.popleft()\nbudget -= 1\n"
+                      "continue",
+                      "stmts:self.gstats.dispatch_stalls += 1\nbreak",
+                      "stmts:self.gstats.dispatch_stalls += 1\nbreak",
+                      "delete"]}),
+                ("inline", ("core/pipeline.py", "SMTPipeline._uncount"),
+                 "self._uncount(inst)",
+                 "__INLINE__",
+                 {"returns": []}),
+                ("guard", "core/thread.py",
+                 "ThreadContext.note_arch_invalid",
+                 "self.arch_inv[arch_reg] = invalid"),
+                ("stmt", "thread.note_arch_invalid(inst.dest_arch, True)",
+                 "arch_inv[inst.dest_arch] = True"),
+                # Per-run hoists (done once in _emit_hoists) and the
+                # macro block's per-entry rebinds of prebound names.
+                ("stmt", "dispatch = self._dispatch", ""),
+                ("stmt", "macro = self.macro_spec", ""),
+                ("stmt", "rob = self.rob", ""),
+                ("stmt", "queues = self.queues", ""),
+                ("stmt", "int_file = self.int_file", ""),
+                ("stmt", "fp_file = self.fp_file", ""),
+                ("stmt", "never = _NEVER", ""),
+                ("stmt", "nint = _NINT", ""),
+                ("stmt", "fold = self._fold", ""),
+                ("stmt", "gstats = self.gstats", ""),
+                ("stmt", "tid = thread.tid", ""),
+                # ... and tid is re-hoisted once per thread iteration.
+                ("stmt", "fetch_queue = thread.fetch_queue",
+                 "fetch_queue = thread.fetch_queue\n"
+                 "tid = thread.tid"),
+                ("rename", "budget", "dispatch_budget"),
+                ("rename", "_RUNAHEAD", "ra_mode"),
+                ("rename", "_PLAN_MISSING", "plan_missing"),
+                ("rename", "_COMPLETED", "completed_state"),
+                ("rename", "_DISPATCHED", "dispatched_state"),
+                ("rename", "_READY", "ready_state"),
+                ("rename", "IS_FP_BY_CODE", "is_fp_code"),
+                ("rename", "OP_QUEUE_BY_CODE", "op_queue"),
+                ("expr", "self._width", str(key.width)),
+                ("expr", "self._rotations[now % self.num_threads]",
+                 _rotation_expr(key)),
+                ("expr", "macro", "True"),
+                ("expr", "self._ra_fp_inval", "True"),
+                ("expr", "_SYNC_CODE", str(pipeline_mod._SYNC_CODE)),
+                ("expr", "rob.capacity", str(key.rob_capacity)),
+                ("expr", "rob._queues[inst.tid]", "robq"),
+                ("expr", "rob._queues", "rob_queues"),
+                ("expr", "rob.per_thread[inst.tid]", "rob_pt[tid]"),
+                ("expr", "rob.per_thread", "rob_pt"),
+                ("expr", "self.threads[inst.tid]", "thread"),
+                ("expr", "inst.tid", "tid"),
+                ("expr", "self.queues", "queues"),
+                ("expr", "self.int_file", "int_file"),
+                ("expr", "self.fp_file", "fp_file"),
+                ("expr", "self.gstats", "gstats"),
+                ("expr", "self._fold", "fold"),
+                ("expr", "NO_REG", "no_reg"),
+                ("expr", "_NINT", "nint"),
+                ("expr", "_NEVER", "never"),
+                ("expr", "_JIT_THRESHOLD",
+                 "pipeline_mod._JIT_THRESHOLD"),
+                ("expr", "_PREFIX_JIT_THRESHOLD",
+                 "pipeline_mod._PREFIX_JIT_THRESHOLD"),
+                ("expr", "front[0]", "front0"),
+                ("expr", "front[1]", "front1"),
+                ("expr", "self._fold_worklist", "fold_worklist"),
+                ("expr", "self._drain_folds", "drain_folds"),
+                ("stmt", "thread.stats.dispatched += 1",
+                 "stats.dispatched += 1"),
+                ("stmt", "thread.stats.folded += 1",
+                 "stats.folded += 1"),
+                # The drop-at-decode temp folds into the test.
+                ("stmt",
+                 "drop_at_decode = thread.mode is ra_mode and"
+                 " (True and is_fp_code[op]"
+                 f" or op == {pipeline_mod._SYNC_CODE})\n"
+                 "if drop_at_decode:\n"
+                 "    __BODY__",
+                 "if thread.mode is ra_mode and"
+                 f" (is_fp_code[op] or op == {pipeline_mod._SYNC_CODE}):\n"
+                 "    __BODY__"),
+                # Queue-capacity check against the folded caps tuple.
+                ("stmt",
+                 "queue = queues[op_queue[op]]\n"
+                 "if queue.size >= queue.capacity:\n"
+                 "    gstats.dispatch_stalls += 1\n"
+                 "    break",
+                 "qk = op_queue[op]\n"
+                 "queue = queues[qk]\n"
+                 "if queue.size >= iq_caps[qk]:\n"
+                 "    gstats.dispatch_stalls += 1\n"
+                 "    break"),
+                # dest_file default moves into the else branch.
+                ("stmt",
+                 "dest_file: Optional[PhysRegFile] = None\n"
+                 "if dest_arch != no_reg:\n"
+                 "    dest_file = int_file if dest_arch < nint"
+                 " else fp_file\n"
+                 "    if not dest_file._free:\n"
+                 "        gstats.dispatch_stalls += 1\n"
+                 "        break",
+                 "if dest_arch != no_reg:\n"
+                 "    dest_file = int_file if dest_arch < nint"
+                 " else fp_file\n"
+                 "    if not dest_file._free:\n"
+                 "        gstats.dispatch_stalls += 1\n"
+                 "        break\n"
+                 "else:\n"
+                 "    dest_file = None"),
+                # The per-call rename hoists move out of the while loop
+                # (re-added by the wrapper below).
+                ("stmt",
+                 "pending = 0\n"
+                 "arch_inv = thread.arch_inv\n"
+                 "front = thread.rename.front\n"
+                 "arch = inst.src1_arch",
+                 "pending = 0\n"
+                 "arch = inst.src1_arch"),
+                # fmap resolves inside the klass branch.
+                ("stmt",
+                 "if dest_arch < nint:\n"
+                 "    klass = 0\n"
+                 "    arch_index = dest_arch\n"
+                 "else:\n"
+                 "    klass = 1\n"
+                 "    arch_index = dest_arch - nint\n"
+                 "inst.pdest = preg\n"
+                 "fmap = front[klass]",
+                 "if dest_arch < nint:\n"
+                 "    klass = 0\n"
+                 "    arch_index = dest_arch\n"
+                 "    fmap = front0\n"
+                 "else:\n"
+                 "    klass = 1\n"
+                 "    arch_index = dest_arch - nint\n"
+                 "    fmap = front1\n"
+                 "inst.pdest = preg"),
+                # Issue-queue headroom against the folded caps.
+                ("stmt",
+                 "room_q0 = queues[0].capacity - queues[0].size",
+                 f"room_q0 = {key.iq_caps[0]} - q0.size"),
+                ("stmt",
+                 "room_q1 = queues[1].capacity - queues[1].size",
+                 f"room_q1 = {key.iq_caps[1]} - q1.size"),
+                ("stmt",
+                 "room_q2 = queues[2].capacity - queues[2].size",
+                 f"room_q2 = {key.iq_caps[2]} - q2.size"),
+                # The policy veto is prebound and known non-None.
+                ("stmt",
+                 "macro_ok = self._macro_step_ok\n"
+                 "if macro_ok is not None and not macro_ok(thread, k,"
+                 " now):\n"
+                 "    __BODY__",
+                 "if not macro_ok(thread, k, now):\n"
+                 "    __BODY__"),
+                # The front read sinks below the ROB guard (which does
+                # not use it) — the kernel stalls before peeking.
+                ("stmt",
+                 "inst = fetch_queue[0]\n"
+                 f"if rob._occupancy >= {key.rob_capacity}:\n"
+                 "    gstats.dispatch_stalls += 1\n"
+                 "    break",
+                 f"if rob._occupancy >= {key.rob_capacity}:\n"
+                 "    gstats.dispatch_stalls += 1\n"
+                 "    break\n"
+                 "inst = fetch_queue[0]"),
+                # Single-pass loop: every abort break falls through to
+                # the per-stage path, exactly like `return 0` did.
+                ("stmt",
+                 "if plan is None:\n"
+                 "    break\n"
+                 "__REST__\n"
+                 "if taken:\n"
+                 "    dispatch_budget -= taken\n"
+                 "    if dispatch_budget <= 0:\n"
+                 "        break",
+                 "while plan is not None:\n"
+                 "    __REST__\n"
+                 "if taken:\n"
+                 "    dispatch_budget -= taken\n"
+                 "    if dispatch_budget <= 0:\n"
+                 "        break"),
+                # The per-stage while gains the guarded hoist wrapper.
+                ("stmt",
+                 "while dispatch_budget > 0 and fetch_queue:\n"
+                 "    __BODY__\n"
+                 "if dispatch_budget <= 0:\n"
+                 "    break",
+                 "if dispatch_budget > 0 and fetch_queue:\n"
+                 "    robq = rob_queues[tid]\n"
+                 "    stats = thread.stats\n"
+                 "    arch_inv = thread.arch_inv\n"
+                 "    front = thread.rename.front\n"
+                 "    front0 = front[0]\n"
+                 "    front1 = front[1]\n"
+                 "    while dispatch_budget > 0 and fetch_queue:\n"
+                 "        __BODY__\n"
+                 "if dispatch_budget <= 0:\n"
+                 "    break"),
+            ],
+        },
+        {
+            "name": "fetch",
+            "source": ("core/pipeline.py", "SMTPipeline._fetch_stage"),
+            "emitter": "_emit_fetch",
+            "covers": (
+                ("core/pipeline.py", "SMTPipeline._fetch_stage"),
+                ("core/pipeline.py", "SMTPipeline._fetch_thread"),
+                ("core/thread.py", "ThreadContext.block_fetch_until"),
+            ),
+            "subs": [
+                # _fetch_thread spliced per thread; the buffer-full
+                # return becomes the loop continue, the tail return
+                # merges into the `if count:` epilogue below.
+                ("inline", ("core/pipeline.py",
+                            "SMTPipeline._fetch_thread"),
+                 "taken = self._fetch_thread(thread, now,"
+                 " width - fetched_total)\n"
+                 "if taken > 0:\n"
+                 "    fetched_total += taken\n"
+                 "    threads_used += 1",
+                 "__INLINE__",
+                 {"bind": {"limit": ("limit", "width - fetched_total")},
+                  "returns": ["continue", "delete"]}),
+                ("guard", "core/thread.py",
+                 "ThreadContext.block_fetch_until",
+                 "if cycle > self.fetch_blocked_until:\n"
+                 "    self.fetch_blocked_until = cycle"),
+                ("stmt", "thread.block_fetch_until(complete)",
+                 "if complete > thread.fetch_blocked_until:\n"
+                 "    thread.fetch_blocked_until = complete"),
+                ("stmt", "thread.block_fetch_until(now + 2)",
+                 "blocked = now + 2\n"
+                 "if blocked > thread.fetch_blocked_until:\n"
+                 "    thread.fetch_blocked_until = blocked"),
+                # Per-run hoists (done once in _emit_hoists) and the
+                # width/fetch-thread folds.
+                ("stmt", "width = self._width", ""),
+                ("stmt", "fetch_threads = self._fetch_threads", ""),
+                ("stmt", "threads = self.threads", ""),
+                ("stmt", "tid = thread.tid", ""),
+                ("stmt", "ifetch_packed = self.mem.ifetch_packed", ""),
+                ("rename", "_RUNAHEAD", "ra_mode"),
+                ("expr", "width", str(key.width)),
+                ("expr", "fetch_threads", str(key.fetch_threads)),
+                ("expr", "self.policy.fetch_order", "fetch_order"),
+                ("expr", "self.gstats", "gstats"),
+                ("expr", "self._fetch_buffer_size",
+                 str(key.fetch_buffer)),
+                ("expr", "self._icache_latency", str(key.icache_latency)),
+                ("expr", "self._gseq", "pipeline._gseq"),
+                ("expr", "self.btb.lookup_and_insert", "btb_lookup"),
+                ("expr", "self.predictor.predict", "predictor_predict"),
+                # The fetch budget resolves after the buffer check (the
+                # kernel bails before computing it).
+                ("stmt",
+                 f"limit = {key.width} - fetched_total\n"
+                 "fetch_queue = thread.fetch_queue\n"
+                 f"buffer_room = {key.fetch_buffer} - len(fetch_queue)\n"
+                 "if buffer_room <= 0:\n"
+                 "    continue",
+                 "fetch_queue = thread.fetch_queue\n"
+                 f"buffer_room = {key.fetch_buffer} - len(fetch_queue)\n"
+                 "if buffer_room <= 0:\n"
+                 "    continue\n"
+                 f"limit = {key.width} - fetched_total"),
+                # taken == count: the caller's accounting merges into
+                # the fetch-block epilogue.
+                ("stmt",
+                 "if count:\n"
+                 "    pipeline._gseq = gseq\n"
+                 "    thread.seq = seq\n"
+                 "    thread.icount += count\n"
+                 "    stats.fetched += count",
+                 "if count:\n"
+                 "    pipeline._gseq = gseq\n"
+                 "    thread.seq = seq\n"
+                 "    thread.icount += count\n"
+                 "    stats.fetched += count\n"
+                 "    fetched_total += count\n"
+                 "    threads_used += 1"),
+            ],
+        },
+        {
+            "name": "sample",
+            "source": ("core/pipeline.py", "SMTPipeline._sample_stats"),
+            "emitter": "_emit_sample",
+            "covers": (("core/pipeline.py", "SMTPipeline._sample_stats"),),
+            "subs": [
+                # The kernel reads the hoisted per-thread stats slots
+                # directly instead of re-binding them per cycle.
+                ("stmt", "stats = thread.stats", ""),
+                ("expr", "thread.regs_held", "thread_held"),
+                ("rename", "_RUNAHEAD", "ra_mode"),
+                ("expr", "self.gstats", "gstats"),
+                ("unroll", "thread", [
+                    {"thread": f"t{i}", "thread_held": f"t{i}_held",
+                     "stats": f"t{i}_stats"}
+                    for i in range(key.num_threads)
+                ]),
+            ],
+        },
+    )
+
+
+FRAGMENTS = _tiersync_fragments(TIERSYNC_KEY)

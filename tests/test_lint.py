@@ -505,9 +505,17 @@ def test_cli_json_document_shape(capsys):
     assert document["version"] == 1
     assert set(document) >= {"version", "root", "rules", "files",
                              "findings", "summary"}
-    assert document["summary"] == {"errors": 0, "warnings": 0,
-                                   "suppressed": document["summary"]
-                                   ["suppressed"]}
+    summary = document["summary"]
+    assert summary["errors"] == 0 and summary["warnings"] == 0
+    assert isinstance(summary["suppressed"], int)
+    # Per-rule execution stats: every rule that ran reports a finding
+    # count and a wall time.
+    assert set(summary["rules"]) == set(rule_names())
+    for stats in summary["rules"].values():
+        assert isinstance(stats["findings"], int)
+        assert isinstance(stats["seconds"], float)
+    # Fragment coverage rides along whenever tier-sync ran.
+    assert summary["fragment_coverage"]["fragments"] >= 6
     assert document["rules"] == list(rule_names())
     assert document["findings"] == []
 
